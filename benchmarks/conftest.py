@@ -1,0 +1,115 @@
+"""Shared workloads and helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures, tables or headline
+claims (see DESIGN.md §3).  The workloads are scaled-down versions of the
+paper's captures — the paper summarizes 6 M-packet traces into 40 k nodes;
+we keep the same *node-budget-to-traffic ratio* at a size a laptop-class
+pure-Python run finishes in minutes (the scale factor is printed with every
+result and recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import pytest
+
+from repro.baselines import ExactAggregator
+from repro.core import Flowtree, FlowtreeConfig
+from repro.features.schema import SCHEMA_2F_SRC_DST, SCHEMA_4F
+from repro.traces import CaidaLikeTraceGenerator, MawiLikeTraceGenerator
+
+# Paper scale: 6 M packets summarized into 40 k nodes.
+PAPER_PACKETS = 6_000_000
+PAPER_NODES = 40_000
+
+# Benchmark scale (same nodes/packets ratio, laptop-sized).
+BENCH_PACKETS = 180_000
+BENCH_NODES = max(1_000, int(PAPER_NODES * BENCH_PACKETS / PAPER_PACKETS * 4))
+#: The factor 4 above compensates for the smaller trace having relatively
+#: fewer repeated flows; it keeps the kept-fraction of distinct flows in the
+#: same regime as the paper's configuration.
+
+
+@dataclass
+class Workload:
+    """A packet trace plus the Flowtree and exact ground truth built over it."""
+
+    name: str
+    packets: List
+    tree: Flowtree
+    truth: ExactAggregator
+
+    @property
+    def packet_count(self) -> int:
+        return len(self.packets)
+
+
+def build_workload(name: str, generator, packet_count: int, node_budget: int,
+                   schema=SCHEMA_4F, policy: str = "round-robin") -> Workload:
+    """Generate a trace and build both the summary and the ground truth."""
+    packets = list(generator.packets(packet_count))
+    tree = Flowtree(schema, FlowtreeConfig(max_nodes=node_budget, policy=policy))
+    truth = ExactAggregator(schema)
+    for packet in packets:
+        tree.add_record(packet)
+        truth.add_record(packet)
+    return Workload(name=name, packets=packets, tree=tree, truth=truth)
+
+
+@pytest.fixture(scope="session")
+def caida_workload():
+    """Equinix-Chicago-like workload (Fig. 3a / claims / storage)."""
+    return build_workload(
+        "equinix-chicago-like",
+        CaidaLikeTraceGenerator(seed=2018, flow_population=90_000),
+        BENCH_PACKETS,
+        BENCH_NODES,
+    )
+
+
+@pytest.fixture(scope="session")
+def mawi_workload():
+    """MAWI-like workload (Fig. 3b)."""
+    return build_workload(
+        "mawi-like",
+        MawiLikeTraceGenerator(seed=2018, flow_population=110_000),
+        BENCH_PACKETS,
+        BENCH_NODES,
+    )
+
+
+@pytest.fixture(scope="session")
+def caida_packets_2f(caida_workload):
+    """The CAIDA-like packets reused by 2-feature experiments."""
+    return caida_workload.packets
+
+
+_EXPERIMENT_REPORTS = []
+
+
+def pytest_runtest_logreport(report):
+    """Collect each benchmark's printed tables (pytest captures stdout)."""
+    if report.when == "call" and report.passed and getattr(report, "capstdout", ""):
+        _EXPERIMENT_REPORTS.append((report.nodeid, report.capstdout))
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Re-emit the paper-style tables after the run so they land in the log."""
+    if not _EXPERIMENT_REPORTS:
+        return
+    terminalreporter.section("experiment reports (paper-style tables)")
+    for nodeid, text in _EXPERIMENT_REPORTS:
+        terminalreporter.write_line(f"----- {nodeid} -----")
+        terminalreporter.write_line(text)
+
+
+def print_header(experiment_id: str, description: str) -> None:
+    """Banner printed before each experiment's table."""
+    print("\n")
+    print("=" * 78)
+    print(f"{experiment_id}: {description}")
+    print(f"scale: {BENCH_PACKETS:,} packets, {BENCH_NODES:,}-node budget "
+          f"(paper: {PAPER_PACKETS:,} packets, {PAPER_NODES:,} nodes)")
+    print("=" * 78)

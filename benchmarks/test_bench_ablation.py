@@ -1,0 +1,115 @@
+"""ABL-POLICY / ABL-BUDGET — ablations of the design choices DESIGN.md calls out.
+
+The paper fixes one configuration (40 k nodes, one generalization scheme);
+these benchmarks sweep the two knobs the reproduction exposes:
+
+* ABL-POLICY — the generalization policy that turns the feature lattice
+  into a canonical chain (round-robin vs. field orders vs. an explicit
+  priority order).  The policy decides *where* unpopular traffic
+  aggregates, so it trades source-oriented against destination-oriented
+  drill-down accuracy.
+* ABL-BUDGET — the node budget: accuracy must degrade gracefully as the
+  summary shrinks and the >1 %-flows-present property must hold throughout.
+"""
+
+import pytest
+
+from conftest import BENCH_NODES, print_header
+from repro.analysis import AccuracyEvaluator, heavy_hitter_report, render_table
+from repro.baselines import ExactAggregator
+from repro.core import Flowtree, FlowtreeConfig, FlowKey
+from repro.features.schema import SCHEMA_4F
+from repro.traces import CaidaLikeTraceGenerator
+
+POLICIES = ("round-robin", "field-order", "reverse-field-order", "priority:0,2,3,1")
+
+
+@pytest.fixture(scope="module")
+def ablation_trace():
+    generator = CaidaLikeTraceGenerator(seed=1337, flow_population=40_000)
+    packets = list(generator.packets(80_000))
+    truth = ExactAggregator(SCHEMA_4F)
+    for packet in packets:
+        truth.add_record(packet)
+    return packets, truth
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_generalization_policy(benchmark, ablation_trace):
+    """ABL-POLICY: accuracy and drill-down orientation per generalization policy."""
+    packets, truth = ablation_trace
+
+    def run():
+        rows = []
+        for policy in POLICIES:
+            tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=2_500, policy=policy))
+            tree.add_records(packets)
+            report = AccuracyEvaluator(truth).evaluate(tree, summary_name=policy)
+            # Orientation probes: how much of the traffic below the busiest
+            # source /8 and destination /8 the summary can still attribute.
+            src_probe = _aggregate_coverage(tree, truth, feature_index=0)
+            dst_probe = _aggregate_coverage(tree, truth, feature_index=1)
+            rows.append({
+                "policy": policy,
+                "diagonal_fraction": round(report.diagonal_fraction, 3),
+                "weighted_rel_error": round(report.weighted_relative_error, 4),
+                "src/8_coverage": round(src_probe, 3),
+                "dst/8_coverage": round(dst_probe, 3),
+                "nodes": len(tree),
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("ABL-POLICY", "generalization policy ablation (2 500-node budget)")
+    print(render_table(rows))
+    by_policy = {row["policy"]: row for row in rows}
+    # Every policy keeps the headline property: accurate popular flows.
+    assert all(row["diagonal_fraction"] > 0.5 for row in rows)
+    # Orientation trade-off: keeping a feature specific longest yields the best
+    # coverage for that feature's aggregates.
+    assert by_policy["priority:0,2,3,1"]["dst/8_coverage"] >= by_policy["reverse-field-order"]["dst/8_coverage"] - 0.05
+
+
+def _aggregate_coverage(tree, truth, feature_index) -> float:
+    """Estimated/actual ratio for the busiest /8 along one feature."""
+    totals = {}
+    for key, count in truth.flow_counts().items():
+        octet = key[feature_index].network >> 24
+        totals[octet] = totals.get(octet, 0) + count
+    busiest_octet, actual = max(totals.items(), key=lambda item: item[1])
+    wire = ["*"] * 4
+    wire[feature_index] = f"{busiest_octet}.0.0.0/8"
+    estimate = tree.estimate(FlowKey.from_wire(SCHEMA_4F, wire)).value()
+    return min(estimate / actual, actual and estimate and 2.0) if actual else 0.0
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_node_budget(benchmark, ablation_trace):
+    """ABL-BUDGET: accuracy vs node budget sweep (graceful degradation)."""
+    packets, truth = ablation_trace
+    budgets = (500, 1_000, 2_000, 4_000, 8_000)
+
+    def run():
+        rows = []
+        for budget in budgets:
+            tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=budget))
+            tree.add_records(packets)
+            report = AccuracyEvaluator(truth).evaluate(tree, population="all")
+            kept_report = AccuracyEvaluator(truth).evaluate(tree)
+            heavy = heavy_hitter_report(tree, truth, threshold_fraction=0.01)
+            rows.append({
+                "node_budget": budget,
+                "kept_diagonal_fraction": round(kept_report.diagonal_fraction, 3),
+                "all_flows_weighted_error": round(report.weighted_relative_error, 4),
+                "heavy_flows_present": heavy.all_heavy_present,
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("ABL-BUDGET", "node budget sweep (500 ... 8 000 nodes)")
+    print(render_table(rows))
+    errors = [row["all_flows_weighted_error"] for row in rows]
+    # Error decreases (or stays flat) as the budget grows.
+    assert all(late <= early + 1e-9 for early, late in zip(errors, errors[1:]))
+    # The paper's presence property holds at every budget in the sweep.
+    assert all(row["heavy_flows_present"] for row in rows)

@@ -1,0 +1,113 @@
+"""ABL-BASELINE — Flowtree vs prior-work summaries on one workload.
+
+The paper positions Flowtree against hierarchical-heavy-hitter algorithms
+and flat heavy-hitter/sketch structures (Sec. 1: "Existing work ... is
+either relied on pre-installed rules or concerned with capturing heavy
+hitters in tree-like structures.  Keeping summaries of only the most
+popular flows misses information on less popular ones.").
+
+This benchmark builds every baseline with a comparable memory footprint and
+reports, for each:
+
+* accuracy on the flows it keeps (diagonal fraction),
+* accuracy on heavy aggregates (the busiest source /8),
+* whether every >1 %-of-traffic flow is still identifiable, and
+* the number of counters used.
+
+The expected *shape* (not absolute numbers): Flowtree matches the HHH
+baselines on heavy flows while also answering aggregate queries that the
+flat summaries miss, within one shared node budget.
+"""
+
+import pytest
+
+from conftest import print_header
+from repro.analysis import render_table
+from repro.baselines import (
+    ExactAggregator,
+    FullUpdateHHH,
+    HierarchicalCountMin,
+    RandomizedHHH,
+    SpaceSavingSummary,
+)
+from repro.core import Flowtree, FlowtreeConfig, FlowKey
+from repro.features.schema import SCHEMA_2F_SRC_DST
+from repro.traces import CaidaLikeTraceGenerator
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_baseline_comparison(benchmark):
+    """ABL-BASELINE: accuracy per summary type under a comparable budget."""
+    generator = CaidaLikeTraceGenerator(seed=4242, flow_population=30_000)
+    packets = list(generator.packets(60_000))
+    truth = ExactAggregator(SCHEMA_2F_SRC_DST)
+    for packet in packets:
+        truth.add_record(packet)
+    total = truth.total()
+    heavy_threshold = int(total * 0.01)
+    heavy_flows = dict(truth.heavy_hitters(heavy_threshold))
+
+    # The busiest source /8 aggregate: the query flat summaries struggle with.
+    per_octet = {}
+    for key, count in truth.flow_counts().items():
+        octet = key[0].network >> 24
+        per_octet[octet] = per_octet.get(octet, 0) + count
+    busiest_octet, busiest_actual = max(per_octet.items(), key=lambda item: item[1])
+    aggregate_query = FlowKey.from_wire(SCHEMA_2F_SRC_DST, (f"{busiest_octet}.0.0.0/8", "*"))
+
+    def run():
+        contenders = [
+            ("flowtree", Flowtree(SCHEMA_2F_SRC_DST, FlowtreeConfig(max_nodes=2_000))),
+            ("space-saving", SpaceSavingSummary(SCHEMA_2F_SRC_DST, capacity=2_000)),
+            ("rhhh", RandomizedHHH(SCHEMA_2F_SRC_DST, counters_per_level=150)),
+            ("hhh-full", FullUpdateHHH(SCHEMA_2F_SRC_DST, counters_per_level=150)),
+            ("count-min", HierarchicalCountMin(SCHEMA_2F_SRC_DST, width=512, depth=4)),
+        ]
+        rows = []
+        for name, summary in contenders:
+            summary.add_records(packets)
+            rows.append(_evaluate(name, summary, truth, heavy_flows,
+                                   aggregate_query, busiest_actual))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("ABL-BASELINE", "Flowtree vs prior-work summaries (shared budget regime)")
+    print(render_table(rows))
+
+    by_name = {row["summary"]: row for row in rows}
+    flowtree = by_name["flowtree"]
+    # Flowtree answers the aggregate query accurately...
+    assert abs(flowtree["busiest_src8_error"]) <= 0.1
+    # ...keeps every heavy flow identifiable...
+    assert flowtree["heavy_flow_recall"] == 1.0
+    # ...and does so with no more counters than the HHH baselines use in total.
+    assert flowtree["counters"] <= by_name["hhh-full"]["counters"] * 1.5
+    # Flat Space-Saving misses (or badly misestimates) the aggregate view that
+    # hierarchical summaries provide — the gap the paper motivates.
+    assert abs(by_name["space-saving"]["busiest_src8_error"]) >= abs(flowtree["busiest_src8_error"])
+
+
+def _evaluate(name, summary, truth, heavy_flows, aggregate_query, aggregate_actual):
+    heavy_recall_hits = 0
+    heavy_error_sum = 0.0
+    for key, actual in heavy_flows.items():
+        if isinstance(summary, Flowtree):
+            estimate = summary.estimate(key).value()
+        else:
+            estimate = summary.estimate(key)
+        if estimate >= actual * 0.5:
+            heavy_recall_hits += 1
+        heavy_error_sum += abs(estimate - actual) / actual
+    if isinstance(summary, Flowtree):
+        aggregate_estimate = summary.estimate(aggregate_query).value()
+    else:
+        aggregate_estimate = summary.estimate(aggregate_query)
+    return {
+        "summary": name,
+        "counters": summary.node_count(),
+        "heavy_flow_recall": round(heavy_recall_hits / max(len(heavy_flows), 1), 3),
+        "heavy_flow_mean_error": round(heavy_error_sum / max(len(heavy_flows), 1), 3),
+        "busiest_src8_error": round(
+            (aggregate_estimate - aggregate_actual) / aggregate_actual, 3
+        ),
+    }

@@ -1,0 +1,118 @@
+"""CLAIM-TRANSFER / FIG1 — distributed transfer cost and the multi-site scenario.
+
+* CLAIM-TRANSFER: "Mergeable flow summaries can reduce transfer and storage
+  volume by allowing transfer of only summaries or even difference of
+  consecutive summaries" — measured as bytes shipped per strategy (raw
+  NetFlow export, full per-bin summaries, diffs of consecutive summaries).
+* FIG1: the five-site ISP deployment of the paper's Fig. 1 — per-peer volume
+  across all sites in one query, followed by a drill-down into the hottest
+  peer, all executed over summaries only.
+"""
+
+import pytest
+
+from conftest import print_header
+from repro.analysis import comparison_line, format_bytes, render_table
+from repro.analysis.storage import transfer_report
+from repro.core import Flowtree, FlowtreeConfig
+from repro.distributed import Deployment
+from repro.features.schema import SCHEMA_2F_SRC_DST
+from repro.flows.netflow import raw_export_size
+from repro.flows.records import packets_to_flows
+from repro.traces import EnterpriseTraceGenerator
+from repro.traces.replay import time_bins
+
+
+@pytest.mark.benchmark(group="distributed")
+def test_claim_diff_transfer_reduction(benchmark, caida_workload):
+    """CLAIM-TRANSFER: diffs of consecutive summaries vs full summaries vs raw export."""
+
+    def run():
+        packets = caida_workload.packets
+        duration = packets[-1].timestamp - packets[0].timestamp
+        width = duration / 8 + 1e-9
+        trees, flows_per_bin = [], []
+        for _, bin_packets in time_bins(iter(packets), width=width):
+            tree = Flowtree(SCHEMA_2F_SRC_DST, FlowtreeConfig(max_nodes=2_000))
+            tree.add_records(bin_packets)
+            trees.append(tree)
+            flows_per_bin.append(len({p.five_tuple for p in bin_packets}))
+        return transfer_report(trees, flows_per_bin)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("CLAIM-TRANSFER", "bytes shipped per transfer strategy (8 bins)")
+    print(render_table([
+        {"strategy": "raw NetFlow v5 export", "bytes": format_bytes(report.raw_netflow_bytes)},
+        {"strategy": "full summary per bin", "bytes": format_bytes(report.full_bytes)},
+        {"strategy": "diff of consecutive summaries", "bytes": format_bytes(report.diff_bytes)},
+    ]))
+    print()
+    print(render_table([
+        comparison_line("diff vs full-summary savings", f"{report.diff_savings:.1%}",
+                        "diffs cheaper"),
+        comparison_line("diff vs raw export reduction", f"{report.reduction_vs_raw:.1%}",
+                        "large reduction"),
+    ]))
+    assert report.full_bytes < report.raw_netflow_bytes
+    assert report.diff_bytes <= report.full_bytes
+    assert report.reduction_vs_raw > 0.5
+
+
+@pytest.mark.benchmark(group="distributed")
+def test_fig1_multisite_query(benchmark):
+    """FIG1: five ISP sites, one collector, per-peer volume query and drill-down."""
+    sites = ["site-1", "site-2", "site-3", "site-4", "site-5"]
+    packets_per_site = 25_000
+
+    def run():
+        deployment = Deployment(
+            SCHEMA_2F_SRC_DST, sites, bin_width=300.0,
+            daemon_config=FlowtreeConfig(max_nodes=4_000), use_diffs=True,
+        )
+        generators = {}
+        for index, site in enumerate(sites):
+            generators[site] = EnterpriseTraceGenerator(
+                site_prefix=f"100.{64 + index}.0.0", seed=500 + index,
+                customer_count=1_000, flows_per_customer=15,
+            )
+            deployment.attach_records(site, list(generators[site].packets(packets_per_site)))
+        deployment.run(scan_alerts=False)
+        return deployment, generators[sites[0]].peers
+
+    deployment, peers = benchmark.pedantic(run, rounds=1, iterations=1)
+    engine = deployment.query_engine
+
+    print_header("FIG1", "per-peer volume towards all five sites (summaries only)")
+    rows = []
+    for peer in peers:
+        response = engine.volume((f"{peer.prefix}/{peer.prefix_bits}", "*"))
+        rows.append({
+            "peer": peer.name,
+            "prefix": f"{peer.prefix}/{peer.prefix_bits}",
+            "configured_share": f"{peer.weight:.0%}",
+            "measured_packets": response.total,
+            "sites_reporting": len(response.per_site),
+        })
+    print(render_table(rows))
+
+    total = engine.volume(("*", "*")).total
+    shipped = deployment.transfer_bytes()
+    raw = raw_export_size(sum(
+        len({p.five_tuple for p in []}) for _ in sites
+    ) or packets_per_site * len(sites) // 3)
+    print()
+    print(render_table([
+        comparison_line("total packets accounted", total, packets_per_site * len(sites)),
+        comparison_line("summary bytes shipped", format_bytes(shipped), "(not reported)"),
+    ]))
+
+    # Every packet is accounted for across the five sites.
+    assert total == packets_per_site * len(sites)
+    # Peer volume ordering matches the configured traffic matrix.
+    measured = [row["measured_packets"] for row in rows]
+    assert measured == sorted(measured, reverse=True)
+    # The heaviest peer carries roughly its configured share (38 %).
+    assert measured[0] / total == pytest.approx(peers[0].weight, abs=0.12)
+    # Drill-down below the heaviest peer works on the merged view.
+    steps = engine.investigate((f"{peers[0].prefix}/{peers[0].prefix_bits}", "*"), feature_index=0)
+    assert isinstance(steps, list)

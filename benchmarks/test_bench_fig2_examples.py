@@ -1,0 +1,146 @@
+"""FIG2a / FIG2b — the paper's example Flowtrees.
+
+Fig. 2 of the paper illustrates the data structure on two hand-sized
+examples: (a) a 1-feature tree over source prefixes where an unpopular
+subtree has been summarized into ``1.1.1.0/24`` while popular /30s survive,
+and (b) a 4-feature tree over 10 k flows whose nodes sit at mixed
+aggregation levels (host prefixes, /30s, port ranges).
+
+These benchmarks rebuild both shapes from synthetic streams with the same
+structure and verify the qualitative properties the figure shows: popular
+specific flows keep their own nodes, unpopular traffic is absorbed by
+intermediate aggregates (complementary popularity), and every node's
+popularity decomposes exactly as in the figure.
+"""
+
+import pytest
+
+from conftest import print_header
+from repro.analysis import render_table
+from repro.core import Flowtree, FlowtreeConfig, FlowKey
+from repro.features.ipaddr import IPv4Prefix, ipv4_to_int
+from repro.features.schema import SCHEMA_1F_SRC, SCHEMA_4F
+
+
+class OneFeatureRecord:
+    """Minimal record for the 1-feature (source prefix) schema."""
+
+    __slots__ = ("src_ip", "packets", "bytes")
+
+    def __init__(self, src_ip, packets=1):
+        self.src_ip = src_ip
+        self.packets = packets
+        self.bytes = 0
+
+
+def _build_fig2a_tree():
+    """Popular host flows inside 1.1.1.0/24 plus background noise elsewhere."""
+    tree = Flowtree(
+        SCHEMA_1F_SRC,
+        FlowtreeConfig(max_nodes=64, victim_batch=8, policy="round-robin", ip_stride=2),
+    )
+    popular_a = ipv4_to_int("1.1.1.20")
+    popular_b = ipv4_to_int("1.1.1.12")
+    # Heavily popular sources (they must survive as their own nodes).
+    for _ in range(600):
+        tree.add_record(OneFeatureRecord(popular_a))
+        tree.add_record(OneFeatureRecord(popular_b))
+    # Many unpopular sources inside the same /24 (they must fold into it).
+    # Hosts .12 and .20 are skipped so the popular sources keep exact counts.
+    unpopular_hosts = [host for host in range(200) if host not in (12, 20)]
+    for host in unpopular_hosts:
+        tree.add_record(OneFeatureRecord(ipv4_to_int("1.1.1.0") + host))
+    # Background traffic across the wider /8 to give the tree a parent level.
+    for host in range(400):
+        tree.add_record(OneFeatureRecord(ipv4_to_int("1.0.0.0") + host * 251 % (1 << 24)))
+    return tree
+
+
+@pytest.mark.benchmark(group="fig2-examples")
+def test_fig2a_one_feature_tree(benchmark):
+    """Fig. 2a: a 1-feature Flowtree with intermediate summaries."""
+    tree = benchmark.pedantic(_build_fig2a_tree, rounds=1, iterations=1)
+    print_header("FIG2a", "1-feature example Flowtree (source prefixes)")
+
+    rows = [
+        {"key": key.pretty(), "complementary_popularity": counters.packets}
+        for key, counters in sorted(tree.items(), key=lambda item: -item[1].packets)[:12]
+    ]
+    print(render_table(rows))
+
+    # Popular hosts kept as explicit nodes (like 1.1.1.20/30 and 1.1.1.12/30).
+    popular = FlowKey((IPv4Prefix.host("1.1.1.20"),))
+    assert popular in tree
+    assert tree.estimate(popular).value() == 600
+
+    # The unpopular hosts were folded into an aggregate inside 1.1.1.0/24, so
+    # querying the /24 returns everything sent from it even though individual
+    # hosts no longer have nodes.
+    slash24 = FlowKey((IPv4Prefix(ipv4_to_int("1.1.1.0"), 24),))
+    estimate = tree.estimate(slash24).value()
+    # 2 popular hosts + 198 unpopular hosts; a couple of background sources may
+    # also fall inside the /24, so allow a tiny overshoot.
+    assert 600 * 2 + 198 <= estimate <= 600 * 2 + 198 + 5
+    # And the tree holds intermediate aggregation levels, not just hosts + root.
+    specificities = {key.specificity for key in tree.keys()}
+    assert any(0 < spec < 32 for spec in specificities)
+    assert len(tree) <= 64
+
+
+def _build_fig2b_tree():
+    """A 4-feature tree over ~10 k flows, as in Fig. 2b."""
+    import random
+
+    rng = random.Random(42)
+    # Ports (the ephemeral dimensions) are generalized first, keeping the IP
+    # prefixes specific the longest -- the aggregation order visible in the
+    # paper's Fig. 2b nodes such as (1.1.1.10/30, 2.2.10.4/30, {80,443}, ...).
+    tree = Flowtree(
+        SCHEMA_4F,
+        FlowtreeConfig(max_nodes=256, victim_batch=32, policy="priority:2,3,0,1"),
+    )
+
+    class Rec:
+        __slots__ = ("src_ip", "dst_ip", "src_port", "dst_port", "protocol", "packets", "bytes")
+
+        def __init__(self, src, dst, sport, dport):
+            self.src_ip, self.dst_ip = src, dst
+            self.src_port, self.dst_port = sport, dport
+            self.protocol, self.packets, self.bytes = 6, 1, 1500
+
+    base_src = ipv4_to_int("1.1.1.8")
+    base_dst = ipv4_to_int("2.2.10.0")
+    total = 10_000
+    for _ in range(total):
+        # Most traffic concentrates on a few servers behind 2.2.10.0/28 on
+        # ports 80/443, from clients inside 1.1.1.8/29 — the Fig. 2b shape.
+        src = base_src + rng.randrange(8)
+        dst = base_dst + rng.choice((4, 5, 6, 7))
+        dport = rng.choice((80, 443))
+        sport = rng.randrange(1024, 65536)
+        tree.add_record(Rec(src, dst, sport, dport))
+    return tree, total
+
+
+@pytest.mark.benchmark(group="fig2-examples")
+def test_fig2b_four_feature_tree(benchmark):
+    """Fig. 2b: a 4-feature Flowtree over 10 k flows at mixed granularity."""
+    tree, total = benchmark.pedantic(_build_fig2b_tree, rounds=1, iterations=1)
+    print_header("FIG2b", "4-feature example Flowtree, 10 k flows")
+
+    rows = [
+        {"key": key.pretty(), "complementary_popularity": counters.packets}
+        for key, counters in sorted(tree.items(), key=lambda item: -item[1].packets)[:10]
+    ]
+    print(render_table(rows))
+
+    # Root subtree accounts for every flow (complementary popularities sum up).
+    assert tree.estimate(FlowKey.root(SCHEMA_4F)).value() == total
+    # The tree keeps nodes at several aggregation levels, like the figure.
+    specificities = {key.specificity for key in tree.keys() if not key.is_root}
+    assert len({spec // 8 for spec in specificities}) >= 2
+    # Queries for the popular aggregates of the figure are answered well: all
+    # traffic goes to 2.2.10.0/28 on ports 80/443.
+    servers = FlowKey.from_wire(SCHEMA_4F, ("*", "2.2.10.0/28", "*", "*"))
+    assert tree.estimate(servers).value() == pytest.approx(total, rel=0.02)
+    assert len(tree) <= 256

@@ -1,0 +1,67 @@
+"""FIG3a / FIG3b — accuracy of Flowtree (estimated vs. actual popularity).
+
+Paper reference (Fig. 3): two-dimensional histograms of estimated vs. real
+popularity for flows in the Flowtree, built from 6 M-packet captures with 4
+features and 40 k nodes.  Headline observations reproduced here:
+
+* more than 57 % of entries lie on the diagonal,
+* off-diagonal mass stays near the diagonal and thins out with popularity,
+* every flow above 1 % of the packets is present in the tree.
+
+The benchmark prints the same artifacts at the benchmark scale: the accuracy
+table, the diagonal fraction and an ASCII rendering of the 2-D histogram.
+"""
+
+import pytest
+
+from conftest import print_header
+from repro.analysis import AccuracyEvaluator, comparison_line, render_table
+
+
+def _run_accuracy(workload, figure_id, paper_diagonal=">= 0.57"):
+    evaluator = AccuracyEvaluator(workload.truth)
+    report = evaluator.evaluate(
+        workload.tree, trace_name=workload.name, summary_name="flowtree"
+    )
+    print_header(figure_id, f"accuracy heat-map, {workload.name}")
+    print(render_table([report.row()]))
+    print()
+    print(render_table([
+        comparison_line("entries on the diagonal", f"{report.diagonal_fraction:.1%}", paper_diagonal),
+        comparison_line("entries within one bin of the diagonal",
+                        f"{report.near_diagonal_fraction:.1%}", "close to diagonal"),
+        comparison_line("flows >1% of packets present in tree",
+                        "all" if report.heavy_flow_recall == 1.0 else f"{report.heavy_flow_recall:.1%}",
+                        "all"),
+        comparison_line("weighted relative error", f"{report.weighted_relative_error:.3f}", "(not reported)"),
+    ]))
+    print()
+    print(report.histogram.render())
+    return report
+
+
+@pytest.mark.benchmark(group="fig3-accuracy")
+def test_fig3a_equinix_chicago(benchmark, caida_workload):
+    """Fig. 3a: accuracy on the Equinix-Chicago-like backbone trace."""
+    report = benchmark.pedantic(
+        _run_accuracy, args=(caida_workload, "FIG3a"), rounds=1, iterations=1
+    )
+    # The paper's headline numbers, with margin for the scaled-down workload.
+    assert report.diagonal_fraction >= 0.57
+    assert report.near_diagonal_fraction >= report.diagonal_fraction
+    assert report.heavy_flow_recall == 1.0
+    # Off-diagonal mass decreases as popularity rises: popular flows are accurate.
+    strata_ok = report.weighted_relative_error <= report.mean_relative_error or (
+        report.weighted_relative_error < 0.25
+    )
+    assert strata_ok
+
+
+@pytest.mark.benchmark(group="fig3-accuracy")
+def test_fig3b_mawi(benchmark, mawi_workload):
+    """Fig. 3b: accuracy on the MAWI-like transit trace."""
+    report = benchmark.pedantic(
+        _run_accuracy, args=(mawi_workload, "FIG3b"), rounds=1, iterations=1
+    )
+    assert report.diagonal_fraction >= 0.57
+    assert report.heavy_flow_recall == 1.0

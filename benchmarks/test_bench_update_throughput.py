@@ -1,0 +1,130 @@
+"""CLAIM-UPDATE — amortized constant update time.
+
+The paper: "we compute the statistics node but do not aggregate the
+statistics for nodes further in the tree.  This leads to an amortized
+constant update time."  Two measurements back this up here:
+
+* update throughput over successive windows of one long stream — it must
+  not degrade as the tree fills and compaction kicks in (constant amortized
+  cost), and
+* update throughput as a function of the node budget — a larger tree must
+  not make updates slower (the cost is per-update work, not per-node).
+
+A third table compares per-update cost against the hierarchical-heavy-hitter
+baselines, which pay O(levels) per packet.
+"""
+
+import time
+
+import pytest
+
+from conftest import print_header
+from repro.analysis import render_table
+from repro.baselines import FullUpdateHHH, RandomizedHHH, SpaceSavingSummary
+from repro.core import Flowtree, FlowtreeConfig
+from repro.features.schema import SCHEMA_4F
+from repro.traces import CaidaLikeTraceGenerator
+
+
+def _updates_per_second(tree, packets) -> float:
+    start = time.perf_counter()
+    tree.add_records(packets)
+    elapsed = time.perf_counter() - start
+    return len(packets) / elapsed if elapsed > 0 else float("inf")
+
+
+@pytest.mark.benchmark(group="update-throughput")
+def test_claim_amortized_constant_updates_over_stream(benchmark):
+    """Throughput per window stays flat as the stream progresses."""
+    generator = CaidaLikeTraceGenerator(seed=99, flow_population=60_000)
+    windows = 6
+    window_size = 25_000
+    packets = list(generator.packets(windows * window_size))
+    tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=3_000))
+
+    def run():
+        rates = []
+        for index in range(windows):
+            window = packets[index * window_size:(index + 1) * window_size]
+            rates.append(_updates_per_second(tree, window))
+        return rates
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("CLAIM-UPDATE (a)", "update throughput per stream window (constant amortized cost)")
+    print(render_table([
+        {"window": index, "stream_position": (index + 1) * window_size,
+         "updates_per_second": int(rate), "nodes": "<= 3000"}
+        for index, rate in enumerate(rates)
+    ]))
+    # Later windows must not be dramatically slower than the early ones.
+    steady = rates[-1]
+    warmup = rates[0]
+    assert steady > warmup * 0.4, (
+        f"update rate degraded from {warmup:.0f}/s to {steady:.0f}/s over the stream"
+    )
+    # Windows after the tree is warm should be roughly flat among themselves.
+    later = rates[2:]
+    assert max(later) / min(later) < 3.0
+
+
+@pytest.mark.benchmark(group="update-throughput")
+def test_claim_update_cost_independent_of_budget(benchmark):
+    """Per-update cost does not grow with the node budget."""
+    generator = CaidaLikeTraceGenerator(seed=100, flow_population=40_000)
+    packets = list(generator.packets(60_000))
+
+    def run():
+        rows = []
+        for budget in (1_000, 4_000, 16_000):
+            tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=budget))
+            rate = _updates_per_second(tree, packets)
+            rows.append({"node_budget": budget, "updates_per_second": int(rate),
+                         "final_nodes": len(tree)})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("CLAIM-UPDATE (b)", "update throughput vs node budget")
+    print(render_table(rows))
+    rates = [row["updates_per_second"] for row in rows]
+    # The per-update cost must grow far slower than the budget: a 16x larger
+    # tree may cost a small constant factor (more distinct nodes get individual
+    # inserts), never a proportional one.
+    budget_growth = 16_000 / 1_000
+    cost_growth = max(rates) / min(rates)
+    assert cost_growth < budget_growth / 2
+
+
+@pytest.mark.benchmark(group="update-throughput")
+def test_update_cost_vs_hhh_baselines(benchmark):
+    """Flowtree touches one node per update; full HHH pays for every level."""
+    generator = CaidaLikeTraceGenerator(seed=101, flow_population=20_000)
+    packets = list(generator.packets(20_000))
+
+    def run():
+        rows = []
+        contenders = [
+            ("flowtree", Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=3_000))),
+            ("space-saving", SpaceSavingSummary(SCHEMA_4F, capacity=3_000)),
+            ("rhhh (constant-time HHH)", RandomizedHHH(SCHEMA_4F, counters_per_level=500)),
+            ("full-update HHH", FullUpdateHHH(SCHEMA_4F, counters_per_level=500)),
+        ]
+        for name, summary in contenders:
+            start = time.perf_counter()
+            summary.add_records(packets)
+            elapsed = time.perf_counter() - start
+            rows.append({
+                "summary": name,
+                "updates_per_second": int(len(packets) / elapsed),
+                "relative_cost_per_update": None,  # filled below
+            })
+        baseline = rows[0]["updates_per_second"]
+        for row in rows:
+            row["relative_cost_per_update"] = round(baseline / row["updates_per_second"], 2)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("CLAIM-UPDATE (c)", "per-update cost vs HHH baselines (higher = slower than Flowtree)")
+    print(render_table(rows))
+    by_name = {row["summary"]: row["updates_per_second"] for row in rows}
+    # The shape the paper argues for: one-node updates beat per-level updates.
+    assert by_name["flowtree"] > by_name["full-update HHH"]

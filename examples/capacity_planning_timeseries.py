@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Capacity planning over time-binned summaries + storage/transfer accounting.
+
+Shows the "time" dimension of the paper's envisioned system: one Flowtree
+per time bin, range queries by merging bins, per-aggregate time series for
+trending, and the two cost claims measured on the same data:
+
+* storage — serialized summaries vs. raw NetFlow/CSV captures, and
+* transfer — shipping diffs of consecutive summaries vs. full summaries.
+
+Usage::
+
+    python examples/capacity_planning_timeseries.py [packet_count] [bins]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import FlowtreeConfig, FlowKey, SCHEMA_2F_SRC_DST
+from repro.analysis.report import format_bytes, format_fraction, render_table
+from repro.analysis.storage import storage_report, transfer_report
+from repro.distributed import FlowtreeTimeSeries
+from repro.flows.records import packets_to_flows
+from repro.traces import CaidaLikeTraceGenerator
+
+
+def main(packet_count: int = 240_000, bins: int = 8) -> None:
+    generator = CaidaLikeTraceGenerator(seed=21, flow_population=packet_count // 4)
+    packets = list(generator.packets(packet_count))
+    duration = packets[-1].timestamp - packets[0].timestamp
+    bin_width = duration / bins + 1e-9
+
+    series = FlowtreeTimeSeries(
+        SCHEMA_2F_SRC_DST, bin_width, config=FlowtreeConfig(max_nodes=6_000)
+    )
+    series.add_records(packets)
+    print(f"built {len(series)} bins of {bin_width:.3f}s over {packet_count:,} packets\n")
+
+    # --- Per-bin totals (the capacity-planning curve) -------------------------------
+    totals = series.total_by_bin()
+    print(render_table(
+        [{"bin": index, "packets": value} for index, value in sorted(totals.items())]
+    ), "\n")
+
+    # --- A per-aggregate trend: the busiest /8 over time -----------------------------
+    merged = series.merged_range()
+    busiest_key, _ = max(
+        ((key, value) for key, value in merged.top(200)
+         if key[0].specificity == 8 and key[1].is_root),
+        key=lambda item: item[1],
+        default=(None, 0),
+    )
+    if busiest_key is None:
+        busiest_key = FlowKey.from_wire(SCHEMA_2F_SRC_DST, ("*", "*"))
+    trend = series.series(busiest_key)
+    print(f"trend of {busiest_key.pretty()}:")
+    print(render_table(
+        [{"bin": index, "packets": value} for index, value in sorted(trend.items())]
+    ), "\n")
+
+    # --- Storage: summaries vs raw captures -------------------------------------------
+    flows = list(packets_to_flows(iter(packets)))
+    report = storage_report(merged, flows, packet_count=packet_count)
+    print("storage comparison (whole capture vs one merged summary):")
+    print(render_table(report.rows()))
+    print(f"reduction vs NetFlow v5: {format_fraction(report.reduction_vs_netflow)}")
+    print(f"reduction vs CSV:        {format_fraction(report.reduction_vs_csv)}\n")
+
+    # --- Transfer: full summaries vs consecutive diffs ---------------------------------
+    per_bin_trees = [tree for _, tree in series.bins()]
+    flows_per_bin = [max(1, len(flows) // bins)] * bins
+    transfer = transfer_report(per_bin_trees, flows_per_bin)
+    print("transfer comparison (per-bin export to a collector):")
+    print(render_table([
+        {"strategy": "raw NetFlow v5", "bytes": format_bytes(transfer.raw_netflow_bytes)},
+        {"strategy": "full summaries", "bytes": format_bytes(transfer.full_bytes)},
+        {"strategy": "diff summaries", "bytes": format_bytes(transfer.diff_bytes)},
+    ]))
+    print(f"diff savings vs full summaries: {format_fraction(transfer.diff_savings)}")
+    print(f"reduction vs raw export:        {format_fraction(transfer.reduction_vs_raw)}")
+
+
+if __name__ == "__main__":
+    packet_count = int(sys.argv[1]) if len(sys.argv) > 1 else 240_000
+    bin_count = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    main(packet_count, bin_count)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: build a Flowtree, query it, merge and diff summaries.
+
+Runs in a few seconds on a laptop.  The workload is a synthetic
+backbone-like (CAIDA-style) packet stream; see DESIGN.md §4 for why a
+synthetic trace is a faithful stand-in for the captures the paper used.
+
+Usage::
+
+    python examples/quickstart.py [packet_count]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Flowtree, FlowtreeConfig, FlowKey, SCHEMA_4F
+from repro.analysis.report import format_bytes, render_table
+from repro.core.serialization import to_bytes
+from repro.traces import CaidaLikeTraceGenerator
+
+
+def main(packet_count: int = 200_000) -> None:
+    # 1. Build a Flowtree over a packet stream ---------------------------------
+    config = FlowtreeConfig(max_nodes=20_000)
+    tree = Flowtree(SCHEMA_4F, config)
+    generator = CaidaLikeTraceGenerator(seed=7, flow_population=packet_count // 3)
+    print(f"summarizing {packet_count:,} packets ...")
+    tree.add_records(generator.packets(packet_count))
+    print(f"kept {tree.node_count():,} nodes for {tree.stats.updates:,} updates "
+          f"({format_bytes(len(to_bytes(tree)))} serialized)\n")
+
+    # 2. Query: most popular aggregates and one hierarchical estimate ----------
+    print("top aggregates by complementary popularity:")
+    rows = [
+        {"rank": i + 1, "key": key.pretty(), "packets": value}
+        for i, (key, value) in enumerate(tree.top(8))
+    ]
+    print(render_table(rows), "\n")
+
+    https_everywhere = FlowKey.from_wire(SCHEMA_4F, ("*", "*", "*", "443"))
+    estimate = tree.estimate(https_everywhere)
+    print(f"traffic to port 443 (any src/dst): {estimate.value('packets'):,} packets "
+          f"(exact node: {estimate.exact_node})\n")
+
+    # 3. Merge and diff: the operators that make summaries composable ----------
+    second_half = Flowtree(SCHEMA_4F, config)
+    second_half.add_records(generator.packets(packet_count // 2))
+
+    merged = tree.merged(second_half)
+    delta = second_half.diff(tree)
+    print(f"merged summary:   {merged.node_count():,} nodes, "
+          f"{merged.total_counters().packets:,} packets")
+    print(f"diff summary:     {delta.node_count():,} nodes "
+          f"(positive counters = traffic that grew)")
+    grew = [(key, value) for key, value in delta.top(3) if value > 0]
+    print("fastest growing aggregates in the second window:")
+    for key, value in grew:
+        print(f"  {key.pretty()}  +{value:,} packets")
+
+
+if __name__ == "__main__":
+    count = int(sys.argv[1]) if len(sys.argv) > 1 else 200_000
+    main(count)

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+environments with an older setuptools/pip (no PEP 660 editable-install
+support, no ``wheel`` package) can still run ``pip install -e .`` via the
+legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

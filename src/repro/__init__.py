@@ -1,0 +1,71 @@
+"""repro — a reproduction of "Flowtree: Enabling Distributed Flow Summarization at Scale".
+
+The package is organized by subsystem:
+
+* :mod:`repro.core` — the Flowtree data structure (keys, policies, update,
+  compaction, query/merge/diff, serialization).
+* :mod:`repro.features` — generalization hierarchies (IP prefixes, port
+  ranges, protocols, categorical labels) and flow schemas.
+* :mod:`repro.flows` — flow/packet records and codecs (NetFlow v5, IPFIX,
+  pcap, CSV) for feeding real export formats into a Flowtree.
+* :mod:`repro.traces` — synthetic trace generators standing in for the
+  CAIDA / MAWI captures used by the paper's evaluation.
+* :mod:`repro.baselines` — exact aggregation and sketch/heavy-hitter
+  baselines Flowtree is compared against.
+* :mod:`repro.distributed` — the multi-site deployment of Fig. 1: per-router
+  daemons, time-binned stores, diff-based synchronization, a collector and
+  a distributed query engine with alarming.
+* :mod:`repro.analysis` — accuracy, storage and heavy-hitter evaluation
+  used by the benchmark harness to regenerate the paper's figures.
+
+Quickstart::
+
+    from repro import Flowtree, FlowtreeConfig, SCHEMA_4F
+    from repro.traces import CaidaLikeTraceGenerator
+
+    tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=40_000))
+    for record in CaidaLikeTraceGenerator(seed=1).packets(100_000):
+        tree.add_record(record)
+    print(tree.top(10))
+"""
+
+from repro.core import (
+    Counters,
+    Estimate,
+    Flowtree,
+    FlowtreeConfig,
+    FlowKey,
+    PAPER_EVAL_CONFIG,
+)
+from repro.features import (
+    SCHEMA_1F_SRC,
+    SCHEMA_2F_SRC_DST,
+    SCHEMA_4F,
+    SCHEMA_5F,
+    FlowSchema,
+    IPv4Prefix,
+    IPv6Prefix,
+    PortRange,
+    Protocol,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Flowtree",
+    "FlowtreeConfig",
+    "PAPER_EVAL_CONFIG",
+    "FlowKey",
+    "Counters",
+    "Estimate",
+    "FlowSchema",
+    "SCHEMA_1F_SRC",
+    "SCHEMA_2F_SRC_DST",
+    "SCHEMA_4F",
+    "SCHEMA_5F",
+    "IPv4Prefix",
+    "IPv6Prefix",
+    "PortRange",
+    "Protocol",
+    "__version__",
+]

@@ -1,0 +1,209 @@
+"""Accuracy evaluation: estimated vs. actual popularity (paper Fig. 3).
+
+The paper's accuracy experiment builds a Flowtree over a packet capture
+(4 features, 40 k nodes), then compares the estimated popularity of flows
+against their real popularity, presented as a 2-D histogram.  The headline
+observations are:
+
+* more than 57 % of entries lie exactly on the diagonal,
+* off-diagonal entries stay close to the diagonal and thin out as
+  popularity grows, and
+* every flow above 1 % of total packets is present in the tree.
+
+:class:`AccuracyEvaluator` reproduces that methodology against any summary
+that implements ``estimate`` semantics (Flowtree or a baseline), using the
+exact aggregator as ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.histogram import Histogram2D
+from repro.baselines.exact import ExactAggregator
+from repro.core.flowtree import Flowtree
+from repro.core.key import FlowKey
+
+
+@dataclass
+class AccuracyReport:
+    """Result of one accuracy evaluation run."""
+
+    summary_name: str
+    trace_name: str
+    query_count: int
+    node_count: int
+    distinct_flows: int
+    exact_fraction: float
+    diagonal_fraction: float
+    near_diagonal_fraction: float
+    weighted_relative_error: float
+    mean_relative_error: float
+    heavy_flow_recall: float
+    heavy_flow_threshold: float
+    histogram: Histogram2D = field(repr=False, default_factory=Histogram2D)
+
+    def row(self) -> Dict[str, object]:
+        """Flat dictionary for table rendering and EXPERIMENTS.md."""
+        return {
+            "summary": self.summary_name,
+            "trace": self.trace_name,
+            "queries": self.query_count,
+            "nodes": self.node_count,
+            "distinct_flows": self.distinct_flows,
+            "exact_fraction": round(self.exact_fraction, 4),
+            "diagonal_fraction": round(self.diagonal_fraction, 4),
+            "near_diagonal_fraction": round(self.near_diagonal_fraction, 4),
+            "weighted_relative_error": round(self.weighted_relative_error, 4),
+            "mean_relative_error": round(self.mean_relative_error, 4),
+            "heavy_flow_recall": round(self.heavy_flow_recall, 4),
+        }
+
+
+class AccuracyEvaluator:
+    """Compares a summary's estimates against exact ground truth."""
+
+    def __init__(
+        self,
+        ground_truth: ExactAggregator,
+        metric: str = "packets",
+        bins_per_decade: int = 4,
+        heavy_flow_threshold: float = 0.01,
+    ) -> None:
+        self._truth = ground_truth
+        self._metric = metric
+        self._bins_per_decade = bins_per_decade
+        self._heavy_threshold = heavy_flow_threshold
+
+    # -- evaluation ---------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        summary,
+        query_keys: Optional[Sequence[FlowKey]] = None,
+        summary_name: Optional[str] = None,
+        trace_name: str = "trace",
+        population: str = "kept",
+    ) -> AccuracyReport:
+        """Evaluate ``summary`` over a query population.
+
+        ``population`` selects which flows are queried when ``query_keys``
+        is not given explicitly:
+
+        * ``"kept"`` (default) — every distinct flow of the capture that is
+          present in the summary.  This is the population of the paper's
+          Fig. 3 ("estimated vs. real popularities for flows *in*
+          Flowtree").
+        * ``"all"`` — every distinct flow of the capture, kept or evicted;
+          a strictly harder benchmark that also penalizes the flows the
+          summary chose to fold away.
+        """
+        truth_counts = self._truth.flow_counts(self._metric)
+        contains_for_population = self._contains_function(summary)
+        if query_keys is not None:
+            keys: Sequence[FlowKey] = list(query_keys)
+        elif population == "all":
+            keys = list(truth_counts.keys())
+        elif population == "kept":
+            keys = [key for key in truth_counts if contains_for_population(key)]
+        else:
+            raise ValueError(f"population must be 'kept' or 'all', got {population!r}")
+        histogram = Histogram2D(bins_per_decade=self._bins_per_decade)
+        total_traffic = self._truth.total(self._metric)
+        heavy_cutoff = max(1, int(total_traffic * self._heavy_threshold))
+
+        exact_hits = 0
+        absolute_error_sum = 0.0
+        relative_error_sum = 0.0
+        weighted_error_sum = 0.0
+        weight_sum = 0
+        heavy_total = 0
+        heavy_present = 0
+
+        estimate = self._estimate_function(summary)
+        contains = self._contains_function(summary)
+
+        actuals: List[int] = []
+        estimates: List[int] = []
+        for key in keys:
+            actual = truth_counts.get(key)
+            if actual is None:
+                actual = self._truth.estimate(key, self._metric)
+            estimated = estimate(key)
+            actuals.append(actual)
+            estimates.append(estimated)
+            histogram.add(actual, estimated)
+            if estimated == actual:
+                exact_hits += 1
+            error = abs(estimated - actual)
+            absolute_error_sum += error
+            relative_error_sum += error / max(actual, 1)
+            weighted_error_sum += error
+            weight_sum += actual
+            if actual >= heavy_cutoff:
+                heavy_total += 1
+                if contains(key):
+                    heavy_present += 1
+
+        query_count = len(keys)
+        return AccuracyReport(
+            summary_name=summary_name or getattr(summary, "name", type(summary).__name__),
+            trace_name=trace_name,
+            query_count=query_count,
+            node_count=self._node_count(summary),
+            distinct_flows=self._truth.distinct_flows(),
+            exact_fraction=exact_hits / query_count if query_count else 0.0,
+            diagonal_fraction=histogram.diagonal_fraction(0),
+            near_diagonal_fraction=histogram.diagonal_fraction(1),
+            weighted_relative_error=(weighted_error_sum / weight_sum) if weight_sum else 0.0,
+            mean_relative_error=(relative_error_sum / query_count) if query_count else 0.0,
+            heavy_flow_recall=(heavy_present / heavy_total) if heavy_total else 1.0,
+            heavy_flow_threshold=self._heavy_threshold,
+            histogram=histogram,
+        )
+
+    # -- helpers -------------------------------------------------------------------------
+
+    @staticmethod
+    def _estimate_function(summary):
+        if isinstance(summary, Flowtree):
+            return lambda key: summary.estimate(key).counters.packets
+        return lambda key: summary.estimate(key)
+
+    @staticmethod
+    def _contains_function(summary):
+        if isinstance(summary, Flowtree):
+            return lambda key: key in summary
+        if hasattr(summary, "__contains__"):
+            return lambda key: key in summary
+        return lambda key: summary.estimate(key) > 0
+
+    @staticmethod
+    def _node_count(summary) -> int:
+        if isinstance(summary, Flowtree):
+            return summary.node_count()
+        if hasattr(summary, "node_count"):
+            return summary.node_count()
+        return 0
+
+
+def error_percentiles(
+    actuals: Iterable[int], estimates: Iterable[int], percentiles: Sequence[float] = (50, 90, 99)
+) -> Dict[float, float]:
+    """Relative-error percentiles over (actual, estimate) pairs.
+
+    Helper for the ablation benchmarks; relative error uses
+    ``max(actual, 1)`` in the denominator so single-packet flows do not
+    blow up the statistic.
+    """
+    actual_array = np.asarray(list(actuals), dtype=np.float64)
+    estimate_array = np.asarray(list(estimates), dtype=np.float64)
+    if actual_array.size == 0:
+        return {percentile: 0.0 for percentile in percentiles}
+    errors = np.abs(estimate_array - actual_array) / np.maximum(actual_array, 1.0)
+    return {
+        percentile: float(np.percentile(errors, percentile)) for percentile in percentiles
+    }

@@ -1,0 +1,152 @@
+"""Drill-down investigation reports.
+
+Automates the workflow from the paper's introduction: an operator notices
+that "IP address range X/8 has received a lot of traffic" and wants to know
+whether it is one IP, one /24, or something broader — and wants the same
+answer for any feature (source, destination, ports, protocol).  The report
+combines the estimator's breakdown/drill-down primitives into a narrative
+object the examples and the CLI can print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.estimator import children_of, drill_down
+from repro.core.flowtree import Flowtree
+from repro.core.key import FlowKey
+from repro.features.ports import well_known_service
+
+
+@dataclass
+class InvestigationLevel:
+    """One level of the investigation: a key and the share of its parent it explains."""
+
+    key: FlowKey
+    value: int
+    share_of_parent: float
+
+    def describe(self, metric: str) -> str:
+        """Readable one-liner for reports."""
+        return (
+            f"{self.key.pretty()}  {self.value:,} {metric}  "
+            f"({self.share_of_parent * 100:.0f}% of parent)"
+        )
+
+
+@dataclass
+class InvestigationReport:
+    """Full result of one drill-down investigation."""
+
+    start_key: FlowKey
+    metric: str
+    total: int
+    verdict: str
+    path: List[InvestigationLevel] = field(default_factory=list)
+    top_contributors: List[Tuple[FlowKey, int]] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """Multi-line human-readable report (used by the examples and the CLI)."""
+        lines = [
+            f"Investigation of {self.start_key.pretty()} ({self.total:,} {self.metric})",
+            f"Verdict: {self.verdict}",
+        ]
+        if self.path:
+            lines.append("Dominant path:")
+            for level in self.path:
+                lines.append("  -> " + level.describe(self.metric))
+        if self.top_contributors:
+            lines.append("Top contributors at the final level:")
+            for key, value in self.top_contributors:
+                lines.append(f"  {key.pretty()}  {value:,} {self.metric}")
+        return "\n".join(lines)
+
+
+def investigate(
+    tree: Flowtree,
+    start_key: FlowKey,
+    feature_index: int,
+    metric: str = "packets",
+    step: int = 8,
+    dominance: float = 0.5,
+    top_n: int = 5,
+) -> InvestigationReport:
+    """Drill into ``start_key`` along one feature and classify what is going on.
+
+    The verdict distinguishes the cases the paper's introduction lists:
+    a single specific endpoint, a narrow aggregate (e.g. one /24), or
+    traffic spread broadly below the starting prefix.
+    """
+    total = tree.estimate(start_key).value(metric)
+    steps = drill_down(
+        tree, start_key, feature_index, metric=metric, step=step, dominance=dominance
+    )
+    path = [
+        InvestigationLevel(key=s.key, value=s.value, share_of_parent=s.share_of_parent)
+        for s in steps
+    ]
+    final_key = path[-1].key if path else start_key
+    contributors = [
+        (key, value)
+        for key, value in children_of(tree, final_key, feature_index, step=step, metric=metric)
+        if key != final_key
+    ][:top_n]
+
+    verdict = _verdict(start_key, path, feature_index, total)
+    return InvestigationReport(
+        start_key=start_key,
+        metric=metric,
+        total=total,
+        verdict=verdict,
+        path=path,
+        top_contributors=contributors,
+    )
+
+
+def _verdict(
+    start_key: FlowKey,
+    path: Sequence[InvestigationLevel],
+    feature_index: int,
+    total: int,
+) -> str:
+    if total == 0:
+        return "no traffic observed for this key"
+    if not path:
+        return (
+            "traffic is spread broadly below the starting key; "
+            "no single sub-aggregate dominates"
+        )
+    deepest = path[-1]
+    feature = deepest.key[feature_index]
+    share = deepest.value / max(total, 1)
+    if getattr(feature, "is_host", False) or feature.cardinality == 1:
+        return (
+            f"a single endpoint ({feature}) explains {share * 100:.0f}% of the traffic"
+        )
+    return (
+        f"a narrow aggregate ({feature}, {feature.cardinality} possible endpoints) "
+        f"explains {share * 100:.0f}% of the traffic"
+    )
+
+
+def port_profile(
+    tree: Flowtree,
+    key: FlowKey,
+    port_feature_index: int,
+    metric: str = "packets",
+    top_n: int = 10,
+) -> List[Dict[str, object]]:
+    """Service (destination-port) breakdown below a key, with service names."""
+    breakdown = children_of(tree, key, port_feature_index, step=16, metric=metric)
+    rows = []
+    for child, value in breakdown[:top_n]:
+        port_feature = child[port_feature_index]
+        rows.append(
+            {
+                "port": port_feature.to_wire(),
+                "service": well_known_service(port_feature) if hasattr(port_feature, "base") else str(port_feature),
+                "value": value,
+            }
+        )
+    return rows

@@ -1,0 +1,85 @@
+"""Plain-text table rendering for benchmark output and the CLI.
+
+The benchmark harness prints paper-style rows ("who wins, by what factor");
+these helpers keep that output consistent and readable without pulling in a
+plotting/formatting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_bytes(count: int) -> str:
+    """Human-readable byte count (``12.3 MiB`` style)."""
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024 or unit == "TiB":
+            if unit == "B":
+                return f"{int(value)} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= 1024
+    return f"{value:.1f} TiB"
+
+
+def format_count(count: int) -> str:
+    """Thousands-separated integer."""
+    return f"{count:,}"
+
+
+def format_fraction(value: Optional[float], digits: int = 1) -> str:
+    """Percentage with a fixed number of digits (``-`` for ``None``)."""
+    if value is None:
+        return "-"
+    return f"{value * 100:.{digits}f}%"
+
+
+def render_table(rows: Sequence[Mapping[str, object]], columns: Optional[Sequence[str]] = None) -> str:
+    """Render dictionaries as an aligned plain-text table.
+
+    Column order follows ``columns`` if given, otherwise the key order of
+    the first row.  Values are stringified with ``str`` except floats,
+    which get four significant digits.
+    """
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        if value is None:
+            return "-"
+        return str(value)
+
+    table = [[cell(row.get(column)) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), max(len(line[i]) for line in table))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = [
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns))) for line in table
+    ]
+    return "\n".join([header, separator] + body)
+
+
+def render_kv(title: str, values: Mapping[str, object]) -> str:
+    """Render a titled key/value block (used for single-result experiments)."""
+    width = max((len(key) for key in values), default=0)
+    lines = [title, "-" * len(title)]
+    for key, value in values.items():
+        if isinstance(value, float):
+            rendered = f"{value:.4g}"
+        else:
+            rendered = str(value)
+        lines.append(f"{key.ljust(width)} : {rendered}")
+    return "\n".join(lines)
+
+
+def comparison_line(name: str, measured: object, paper: object) -> Dict[str, object]:
+    """One row of a paper-vs-measured table (EXPERIMENTS.md format)."""
+    return {"quantity": name, "paper": paper, "measured": measured}

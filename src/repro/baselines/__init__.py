@@ -1,0 +1,32 @@
+"""Baseline summaries Flowtree is compared against.
+
+* :class:`~repro.baselines.exact.ExactAggregator` — exact per-flow
+  counters; the ground truth for every accuracy experiment and the
+  raw-capture reference for the storage experiment.
+* :class:`~repro.baselines.spacesaving.SpaceSavingSummary` — flat (non
+  hierarchical) heavy hitters.
+* :class:`~repro.baselines.hhh_full.FullUpdateHHH` — classic hierarchical
+  heavy hitters, one structure per level, O(levels) work per packet.
+* :class:`~repro.baselines.rhhh.RandomizedHHH` — constant-time randomized
+  HHH (Basat et al.), the paper's reference [1].
+* :class:`~repro.baselines.countmin.HierarchicalCountMin` — per-level
+  Count-Min sketches.
+"""
+
+from repro.baselines.base import StreamSummary
+from repro.baselines.countmin import CountMinSketch, HierarchicalCountMin
+from repro.baselines.exact import ExactAggregator
+from repro.baselines.hhh_full import FullUpdateHHH
+from repro.baselines.rhhh import RandomizedHHH
+from repro.baselines.spacesaving import SpaceSavingCounter, SpaceSavingSummary
+
+__all__ = [
+    "StreamSummary",
+    "ExactAggregator",
+    "SpaceSavingCounter",
+    "SpaceSavingSummary",
+    "FullUpdateHHH",
+    "RandomizedHHH",
+    "CountMinSketch",
+    "HierarchicalCountMin",
+]

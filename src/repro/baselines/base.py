@@ -1,0 +1,59 @@
+"""Common interface for the baseline summaries Flowtree is compared against.
+
+The paper positions Flowtree against hierarchical-heavy-hitter (HHH)
+algorithms [1, 2, 3, 5] and against keeping raw captures.  Every baseline
+in this package implements the small :class:`StreamSummary` interface so
+the benchmark harness can sweep over {Flowtree, Space-Saving, full HHH,
+randomized HHH, Count-Min} with one loop.
+
+All baselines consume the same duck-typed records as the Flowtree
+(``src_ip``, ``dst_ip``, ``src_port``, ``dst_port``, ``protocol``,
+``packets``/``bytes``) and answer popularity queries for
+:class:`~repro.core.key.FlowKey` values, so accuracy is measured with the
+same analysis code for every competitor.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Tuple
+
+from repro.core.key import FlowKey
+
+
+class StreamSummary(abc.ABC):
+    """A bounded-size summary of a flow/packet stream."""
+
+    #: Short name used in benchmark tables.
+    name: str = "summary"
+
+    @abc.abstractmethod
+    def add_record(self, record: object) -> None:
+        """Consume one flow/packet record."""
+
+    @abc.abstractmethod
+    def estimate(self, key: FlowKey, metric: str = "packets") -> int:
+        """Estimated popularity of a (possibly generalized) flow key."""
+
+    @abc.abstractmethod
+    def node_count(self) -> int:
+        """Number of counters/nodes the summary currently holds."""
+
+    def add_records(self, records: Iterable[object]) -> int:
+        """Consume every record of an iterable; returns how many were consumed."""
+        count = 0
+        for record in records:
+            self.add_record(record)
+            count += 1
+        return count
+
+    def heavy_hitters(
+        self, threshold: int, metric: str = "packets"
+    ) -> List[Tuple[FlowKey, int]]:
+        """Keys whose estimated popularity is at least ``threshold``.
+
+        The default implementation is empty; summaries that track explicit
+        keys override it.  Sketches (Count-Min) cannot enumerate keys and
+        keep the default.
+        """
+        return []

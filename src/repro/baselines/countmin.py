@@ -1,0 +1,120 @@
+"""Count-Min sketch baseline (Cormode & Muthukrishnan 2005).
+
+The Count-Min sketch answers point queries over a fixed key universe with
+an additive over-estimate bound, in constant update time and fixed memory.
+Its weakness, relative to Flowtree, is that it cannot *enumerate* keys
+(no drill-down, no heavy-hitter listing without an external key list) and
+it answers hierarchical queries only if every level is sketched
+separately — which is exactly what :class:`HierarchicalCountMin` does, at a
+memory cost proportional to the number of levels.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.base import StreamSummary
+from repro.core.errors import ConfigurationError
+from repro.core.key import FlowKey
+from repro.core.policy import ChainBuilder, get_policy
+from repro.features.schema import FlowSchema
+
+
+class CountMinSketch:
+    """Plain Count-Min sketch over arbitrary hashable keys."""
+
+    def __init__(self, width: int = 2048, depth: int = 4, seed: int = 1) -> None:
+        if width < 8 or depth < 1:
+            raise ConfigurationError(
+                f"width must be >= 8 and depth >= 1, got width={width}, depth={depth}"
+            )
+        self._width = width
+        self._depth = depth
+        self._seeds = [seed * 1_000_003 + row * 7919 for row in range(depth)]
+        self._table = np.zeros((depth, width), dtype=np.int64)
+
+    @property
+    def width(self) -> int:
+        """Counters per row."""
+        return self._width
+
+    @property
+    def depth(self) -> int:
+        """Number of hash rows."""
+        return self._depth
+
+    def _indices(self, key: object) -> List[int]:
+        text = repr(key).encode("utf-8")
+        return [
+            zlib.crc32(text, row_seed) % self._width for row_seed in self._seeds
+        ]
+
+    def add(self, key: object, weight: int = 1) -> None:
+        """Charge ``weight`` to ``key``."""
+        for row, index in enumerate(self._indices(key)):
+            self._table[row, index] += weight
+
+    def estimate(self, key: object) -> int:
+        """Point query (never under-estimates)."""
+        return int(min(self._table[row, index] for row, index in enumerate(self._indices(key))))
+
+    def memory_counters(self) -> int:
+        """Total number of counters (width × depth)."""
+        return self._width * self._depth
+
+
+class HierarchicalCountMin(StreamSummary):
+    """One Count-Min sketch per generalization level of the canonical chain.
+
+    Updates charge every chain ancestor of the incoming flow to its level's
+    sketch (so updates cost one sketch insert per level — *not* constant
+    time), and queries for any trajectory-aligned key are answered by the
+    sketch of the matching level.
+    """
+
+    name = "count-min"
+
+    def __init__(
+        self,
+        schema: FlowSchema,
+        width: int = 2048,
+        depth: int = 4,
+        policy: str = "round-robin",
+        ip_stride: int = 4,
+        port_stride: int = 4,
+        seed: int = 1,
+    ) -> None:
+        self._schema = schema
+        self._chain = ChainBuilder.for_schema(
+            schema, get_policy(policy), ip_stride=ip_stride, port_stride=port_stride
+        )
+        self._levels: List[Tuple[int, ...]] = self._chain.trajectory()
+        self._sketches = {
+            level: CountMinSketch(width=width, depth=depth, seed=seed + i)
+            for i, level in enumerate(self._levels)
+        }
+
+    def add_record(self, record: object) -> None:
+        key = FlowKey.from_record(self._schema, record)
+        weight = getattr(record, "packets", 1)
+        self._sketches[key.specificity_vector].add(key, weight)
+        for ancestor in self._chain.chain(key):
+            self._sketches[ancestor.specificity_vector].add(ancestor, weight)
+
+    def estimate(self, key: FlowKey, metric: str = "packets") -> int:
+        if metric != "packets":
+            return 0
+        sketch = self._sketches.get(key.specificity_vector)
+        if sketch is None:
+            return 0
+        return sketch.estimate(key)
+
+    def node_count(self) -> int:
+        return sum(sketch.memory_counters() for sketch in self._sketches.values())
+
+    def levels(self) -> Sequence[Tuple[int, ...]]:
+        """The trajectory levels this sketch hierarchy covers."""
+        return list(self._levels)

@@ -1,0 +1,138 @@
+"""Exact hierarchical aggregation (the ground truth).
+
+Keeps one counter per distinct fully-specific flow — no summarization, no
+error.  Memory grows with the number of distinct flows, which is exactly
+the cost Flowtree avoids; the accuracy experiments use this class to
+compute the "actual popularity" axis of Fig. 3 and the storage experiment
+uses its size as the raw-capture reference point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.baselines.base import StreamSummary
+from repro.core.key import FlowKey
+from repro.core.node import Counters
+from repro.features.schema import FlowSchema
+
+
+class ExactAggregator(StreamSummary):
+    """Exact per-flow counters with on-demand hierarchical roll-up."""
+
+    name = "exact"
+
+    def __init__(self, schema: FlowSchema) -> None:
+        self._schema = schema
+        self._counters: Dict[FlowKey, Counters] = {}
+
+    @property
+    def schema(self) -> FlowSchema:
+        """The flow schema keys are built with."""
+        return self._schema
+
+    # -- updates -----------------------------------------------------------------
+
+    def add_record(self, record: object) -> None:
+        key = FlowKey.from_record(self._schema, record)
+        counters = self._counters.get(key)
+        if counters is None:
+            counters = Counters()
+            self._counters[key] = counters
+        counters.packets += getattr(record, "packets", 1)
+        counters.bytes += getattr(record, "bytes", 0)
+        counters.flows += 1
+
+    def add_key(self, key: FlowKey, packets: int = 1, bytes: int = 0, flows: int = 1) -> None:
+        """Directly charge a fully specific key (used by tests and replays)."""
+        counters = self._counters.get(key)
+        if counters is None:
+            counters = Counters()
+            self._counters[key] = counters
+        counters.packets += packets
+        counters.bytes += bytes
+        counters.flows += flows
+
+    # -- queries ------------------------------------------------------------------
+
+    def estimate(self, key: FlowKey, metric: str = "packets") -> int:
+        """Exact popularity of ``key`` (sum over all contained specific flows)."""
+        exact = self._counters.get(key)
+        if exact is not None and key.specificity == sum(
+            feature.specificity for feature in key.features
+        ):
+            # Fast path: fully specific keys are direct dictionary hits.
+            direct = exact.weight(metric)
+            if all(not feature.is_root for feature in key.features):
+                return direct
+        total = 0
+        for flow_key, counters in self._counters.items():
+            if key.contains(flow_key):
+                total += counters.weight(metric)
+        return total
+
+    def popularity_map(
+        self, keys: Sequence[FlowKey], metric: str = "packets"
+    ) -> Dict[FlowKey, int]:
+        """Exact popularity for many keys in two passes.
+
+        Keys are grouped by specificity vector; each group needs one pass
+        over the flow table (every flow is generalized to the group's level
+        and matched), so the total cost is ``O(levels * flows)`` instead of
+        ``O(keys * flows)``.
+        """
+        from collections import defaultdict
+
+        result: Dict[FlowKey, int] = {key: 0 for key in keys}
+        groups: Dict[Tuple[int, ...], List[FlowKey]] = defaultdict(list)
+        for key in keys:
+            groups[key.specificity_vector].append(key)
+        for vector, group in groups.items():
+            wanted = set(group)
+            for flow_key, counters in self._counters.items():
+                try:
+                    projected = flow_key.generalize_to_vector(vector)
+                except Exception:
+                    continue
+                if projected in wanted:
+                    result[projected] += counters.weight(metric)
+        return result
+
+    def flow_counts(self, metric: str = "packets") -> Dict[FlowKey, int]:
+        """Exact per-flow counts (the "actual popularity" axis of Fig. 3)."""
+        return {key: counters.weight(metric) for key, counters in self._counters.items()}
+
+    def total(self, metric: str = "packets") -> int:
+        """Total traffic seen."""
+        return sum(counters.weight(metric) for counters in self._counters.values())
+
+    def node_count(self) -> int:
+        return len(self._counters)
+
+    def distinct_flows(self) -> int:
+        """Number of distinct fully specific flows seen."""
+        return len(self._counters)
+
+    def keys(self) -> Iterator[FlowKey]:
+        """Iterate over the distinct flow keys."""
+        return iter(self._counters.keys())
+
+    def heavy_hitters(
+        self, threshold: int, metric: str = "packets"
+    ) -> List[Tuple[FlowKey, int]]:
+        ranked = [
+            (key, counters.weight(metric))
+            for key, counters in self._counters.items()
+            if counters.weight(metric) >= threshold
+        ]
+        ranked.sort(key=lambda item: item[1], reverse=True)
+        return ranked
+
+    def heavy_keys_above_fraction(
+        self, fraction: float, metric: str = "packets"
+    ) -> List[Tuple[FlowKey, int]]:
+        """Flows above a fraction of total traffic (for the CLAIM-HH bench)."""
+        total = self.total(metric)
+        if total == 0:
+            return []
+        return self.heavy_hitters(int(total * fraction) or 1, metric=metric)

@@ -1,0 +1,122 @@
+"""Space-Saving heavy hitter summary (Metwally, Agrawal, El Abbadi 2005).
+
+Space-Saving is the standard bounded-memory top-k/heavy-hitter structure
+and the building block of several HHH algorithms (including the
+constant-time randomized HHH baseline).  It keeps at most ``capacity``
+counters; when a new key arrives and the table is full, the minimum counter
+is evicted and its value is inherited, which guarantees the classic
+over-estimate bound ``true <= estimate <= true + min_counter``.
+
+The implementation tracks flat (non-hierarchical) keys — whatever hashable
+key function the caller supplies — because that is how the original
+algorithm is defined; the HHH baselines layer hierarchy on top of it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, Generic, Hashable, List, Optional, Tuple, TypeVar
+
+from repro.baselines.base import StreamSummary
+from repro.core.errors import ConfigurationError
+from repro.core.key import FlowKey
+from repro.features.schema import FlowSchema
+
+KeyT = TypeVar("KeyT", bound=Hashable)
+
+
+class SpaceSavingCounter(Generic[KeyT]):
+    """The bare Space-Saving algorithm over arbitrary hashable keys."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._counts: Dict[KeyT, int] = {}
+        self._errors: Dict[KeyT, int] = {}
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of counters kept."""
+        return self._capacity
+
+    def add(self, key: KeyT, weight: int = 1) -> None:
+        """Charge ``weight`` to ``key`` (evicting the minimum counter if needed)."""
+        counts = self._counts
+        if key in counts:
+            counts[key] += weight
+            return
+        if len(counts) < self._capacity:
+            counts[key] = weight
+            self._errors[key] = 0
+            return
+        victim = min(counts, key=counts.get)
+        inherited = counts.pop(victim)
+        self._errors.pop(victim, None)
+        counts[key] = inherited + weight
+        self._errors[key] = inherited
+
+    def estimate(self, key: KeyT) -> int:
+        """Estimated (over-approximated) count for ``key``; 0 if not tracked."""
+        return self._counts.get(key, 0)
+
+    def guaranteed(self, key: KeyT) -> int:
+        """Lower bound on the true count (estimate minus inherited error)."""
+        return self._counts.get(key, 0) - self._errors.get(key, 0)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, key: KeyT) -> bool:
+        return key in self._counts
+
+    def items(self) -> List[Tuple[KeyT, int]]:
+        """All tracked ``(key, estimate)`` pairs, most popular first."""
+        return sorted(self._counts.items(), key=lambda item: item[1], reverse=True)
+
+    def top(self, n: int) -> List[Tuple[KeyT, int]]:
+        """The ``n`` largest counters."""
+        return heapq.nlargest(n, self._counts.items(), key=lambda item: item[1])
+
+    def heavy_hitters(self, threshold: int) -> List[Tuple[KeyT, int]]:
+        """Keys whose estimate reaches ``threshold`` (superset of the true heavy hitters)."""
+        return [(key, count) for key, count in self.items() if count >= threshold]
+
+
+class SpaceSavingSummary(StreamSummary):
+    """Space-Saving over fully specific flow keys (non-hierarchical baseline).
+
+    It answers exact-flow queries well but has no notion of prefixes or
+    port ranges: a query for an aggregate key sums the tracked flows it
+    contains, missing everything that was evicted — the weakness the
+    hierarchical approaches (and Flowtree) address.
+    """
+
+    name = "space-saving"
+
+    def __init__(self, schema: FlowSchema, capacity: int = 40_000) -> None:
+        self._schema = schema
+        self._counter: SpaceSavingCounter[FlowKey] = SpaceSavingCounter(capacity)
+
+    def add_record(self, record: object) -> None:
+        key = FlowKey.from_record(self._schema, record)
+        self._counter.add(key, getattr(record, "packets", 1))
+
+    def estimate(self, key: FlowKey, metric: str = "packets") -> int:
+        if metric != "packets":
+            # Space-Saving tracks a single weight; packets is what we feed it.
+            return 0
+        direct = self._counter.estimate(key)
+        if direct:
+            return direct
+        return sum(
+            count for tracked, count in self._counter.items() if key.contains(tracked)
+        )
+
+    def node_count(self) -> int:
+        return len(self._counter)
+
+    def heavy_hitters(
+        self, threshold: int, metric: str = "packets"
+    ) -> List[Tuple[FlowKey, int]]:
+        return self._counter.heavy_hitters(threshold)

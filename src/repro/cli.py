@@ -1,0 +1,250 @@
+"""``flowtree`` command-line interface.
+
+Operator-facing entry points over the library:
+
+* ``flowtree generate`` — write a synthetic trace (CAIDA-like, MAWI-like,
+  DDoS, scan) as a CSV flow archive or pcap file,
+* ``flowtree build`` — summarize a CSV or pcap capture into a Flowtree
+  summary file,
+* ``flowtree info`` — show a summary's schema, node count and sizes,
+* ``flowtree query`` — estimate the popularity of a (generalized) flow key,
+* ``flowtree top`` — most popular aggregates of a summary,
+* ``flowtree merge`` / ``flowtree diff`` — combine summary files,
+* ``flowtree drilldown`` — automated investigation below a key.
+
+Every subcommand works on files so the CLI composes with shell pipelines
+the way operators expect; nothing here adds functionality that is not in
+the library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.drilldown import investigate
+from repro.analysis.report import format_bytes, render_kv, render_table
+from repro.core.config import FlowtreeConfig
+from repro.core.flowtree import Flowtree
+from repro.core.key import FlowKey
+from repro.core.serialization import from_bytes, size_report, to_bytes
+from repro.features.schema import schema_by_name
+from repro.flows.csv_io import read_csv, write_csv
+from repro.flows.pcap import read_pcap, write_pcap
+from repro.flows.records import packets_to_flows
+from repro.traces import (
+    CaidaLikeTraceGenerator,
+    DdosTraceGenerator,
+    MawiLikeTraceGenerator,
+    PortScanTraceGenerator,
+)
+
+_GENERATORS = {
+    "caida": CaidaLikeTraceGenerator,
+    "mawi": MawiLikeTraceGenerator,
+    "ddos": DdosTraceGenerator,
+    "scan": PortScanTraceGenerator,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="flowtree",
+        description="Flowtree: mergeable, self-adjusting summaries of hierarchical network flows",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="write a synthetic trace")
+    generate.add_argument("--kind", choices=sorted(_GENERATORS), default="caida")
+    generate.add_argument("--packets", type=int, default=100_000)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--format", choices=("csv", "pcap"), default="csv")
+    generate.add_argument("output", type=Path)
+
+    build = subparsers.add_parser("build", help="summarize a capture into a Flowtree file")
+    build.add_argument("--schema", default="4f")
+    build.add_argument("--max-nodes", type=int, default=40_000)
+    build.add_argument("--policy", default="round-robin")
+    build.add_argument("--input-format", choices=("csv", "pcap"), default="csv")
+    build.add_argument("input", type=Path)
+    build.add_argument("output", type=Path)
+
+    info = subparsers.add_parser("info", help="describe a Flowtree summary file")
+    info.add_argument("summary", type=Path)
+
+    query = subparsers.add_parser("query", help="estimate the popularity of a flow key")
+    query.add_argument("summary", type=Path)
+    query.add_argument("key", nargs="+", help="one wire-format value per schema field ('*' = wildcard)")
+    query.add_argument("--metric", choices=("packets", "bytes", "flows"), default="packets")
+
+    top = subparsers.add_parser("top", help="most popular aggregates of a summary")
+    top.add_argument("summary", type=Path)
+    top.add_argument("-n", type=int, default=10)
+    top.add_argument("--metric", choices=("packets", "bytes", "flows"), default="packets")
+
+    merge = subparsers.add_parser("merge", help="merge several summary files into one")
+    merge.add_argument("inputs", nargs="+", type=Path)
+    merge.add_argument("--output", "-o", type=Path, required=True)
+
+    diff = subparsers.add_parser("diff", help="subtract one summary from another")
+    diff.add_argument("newer", type=Path)
+    diff.add_argument("older", type=Path)
+    diff.add_argument("--output", "-o", type=Path, required=True)
+
+    drill = subparsers.add_parser("drilldown", help="investigate traffic below a key")
+    drill.add_argument("summary", type=Path)
+    drill.add_argument("key", nargs="+", help="starting key, one value per schema field")
+    drill.add_argument("--feature", type=int, default=0, help="feature index to drill along")
+    drill.add_argument("--metric", choices=("packets", "bytes", "flows"), default="packets")
+
+    return parser
+
+
+# -- subcommand implementations -------------------------------------------------------
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    generator = _GENERATORS[args.kind](seed=args.seed)
+    if args.format == "pcap":
+        count = write_pcap(args.output, generator.packets(args.packets))
+    else:
+        count = write_csv(args.output, packets_to_flows(generator.packets(args.packets)))
+    print(f"wrote {count} records to {args.output}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    schema = schema_by_name(args.schema)
+    config = FlowtreeConfig(max_nodes=args.max_nodes, policy=args.policy)
+    tree = Flowtree(schema, config)
+    if args.input_format == "pcap":
+        records = read_pcap(args.input)
+    else:
+        records = read_csv(args.input)
+    consumed = tree.add_records(records)
+    args.output.write_bytes(to_bytes(tree))
+    print(
+        f"summarized {consumed} records into {tree.node_count()} nodes "
+        f"({format_bytes(args.output.stat().st_size)}) -> {args.output}"
+    )
+    return 0
+
+
+def _load(path: Path) -> Flowtree:
+    return from_bytes(path.read_bytes())
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    tree = _load(args.summary)
+    sizes = size_report(tree)
+    totals = tree.total_counters()
+    print(
+        render_kv(
+            f"Flowtree summary {args.summary}",
+            {
+                "schema": tree.schema.name,
+                "policy": tree.config.policy,
+                "max_nodes": tree.config.max_nodes,
+                "nodes": sizes["nodes"],
+                "packets": totals.packets,
+                "bytes": totals.bytes,
+                "flows": totals.flows,
+                "binary_size": format_bytes(sizes["binary_bytes"]),
+                "compressed_size": format_bytes(sizes["binary_compressed_bytes"]),
+                "json_size": format_bytes(sizes["json_bytes"]),
+            },
+        )
+    )
+    return 0
+
+
+def _parse_key(tree: Flowtree, parts: Sequence[str]) -> FlowKey:
+    wire = ["*" if part in ("*", "-") else part for part in parts]
+    return FlowKey.from_wire(tree.schema, wire)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    tree = _load(args.summary)
+    key = _parse_key(tree, args.key)
+    estimate = tree.estimate(key)
+    print(
+        render_kv(
+            f"Estimate for {key.pretty()}",
+            {
+                "metric": args.metric,
+                "estimate": estimate.value(args.metric),
+                "exact_node": estimate.exact_node,
+                "from_descendants": estimate.from_descendants.weight(args.metric),
+                "from_ancestor": estimate.from_ancestor.weight(args.metric),
+            },
+        )
+    )
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    tree = _load(args.summary)
+    rows = [
+        {"rank": i + 1, "key": key.pretty(), args.metric: value}
+        for i, (key, value) in enumerate(tree.top(args.n, metric=args.metric))
+    ]
+    print(render_table(rows))
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    trees = [_load(path) for path in args.inputs]
+    merged = trees[0]
+    for tree in trees[1:]:
+        merged.merge(tree)
+    args.output.write_bytes(to_bytes(merged))
+    print(f"merged {len(trees)} summaries into {merged.node_count()} nodes -> {args.output}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    newer = _load(args.newer)
+    older = _load(args.older)
+    delta = newer.diff(older)
+    args.output.write_bytes(to_bytes(delta))
+    print(f"wrote diff with {delta.node_count()} nodes -> {args.output}")
+    return 0
+
+
+def _cmd_drilldown(args: argparse.Namespace) -> int:
+    tree = _load(args.summary)
+    key = _parse_key(tree, args.key)
+    report = investigate(tree, key, args.feature, metric=args.metric)
+    print(report.describe())
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "build": _cmd_build,
+    "info": _cmd_info,
+    "query": _cmd_query,
+    "top": _cmd_top,
+    "merge": _cmd_merge,
+    "diff": _cmd_diff,
+    "drilldown": _cmd_drilldown,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``flowtree`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    try:
+        return handler(args)
+    except Exception as exc:  # surfaced as a clean error message, not a traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution guard
+    sys.exit(main())

@@ -1,0 +1,140 @@
+"""Self-adjustment: folding unpopular nodes into coarser aggregates.
+
+When a Flowtree exceeds its node budget the compactor selects the leaves
+with the smallest complementary popularity and folds them *upward along
+their canonical generalization chain*.  Victims are folded at the deepest
+chain level where they either meet another victim or an aggregate that
+already exists in the tree; this is how the intermediate summary nodes of
+the paper's Fig. 2 (``1.1.1.0/24``-style aggregates with their own
+complementary popularity) come into existence.  Victims that meet nothing
+anywhere fold into their current tree parent, so every round is guaranteed
+to shrink the tree.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Dict, List, Sequence
+
+from repro.core.config import FlowtreeConfig
+from repro.core.key import FlowKey
+from repro.core.node import FlowtreeNode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.flowtree import Flowtree
+
+
+class Compactor:
+    """Implements the folding strategy configured by :class:`FlowtreeConfig`."""
+
+    def __init__(self, config: FlowtreeConfig) -> None:
+        self._config = config
+
+    def compact(self, tree: "Flowtree", target_nodes: int) -> int:
+        """Shrink ``tree`` to at most ``target_nodes`` nodes; return nodes removed."""
+        removed_total = 0
+        # Every processed round removes at least one node, so the loop
+        # terminates; the guard protects against pathological configurations
+        # (e.g. a tree that consists only of the root and protected nodes).
+        max_rounds = 64
+        for _ in range(max_rounds):
+            excess = len(tree) - target_nodes
+            if excess <= 0:
+                break
+            removed = self._compact_round(tree, excess)
+            removed_total += removed
+            if removed == 0:
+                break
+        return removed_total
+
+    # -- one round -------------------------------------------------------------
+
+    def _compact_round(self, tree: "Flowtree", excess: int) -> int:
+        victims = self._select_victims(tree, excess)
+        if not victims:
+            return 0
+
+        before = len(tree)
+        # Walk every victim's canonical chain once; chains[i][level] is the
+        # victim's ancestor key after ``level + 1`` generalization steps.
+        chains: List[List[FlowKey]] = [
+            list(tree.chain_builder.chain(victim.key)) for victim in victims
+        ]
+        max_chain = max((len(chain) for chain in chains), default=0)
+        remaining = set(range(len(victims)))
+
+        for level in range(max_chain):
+            if len(tree) <= before - excess:
+                break
+            if not remaining:
+                break
+            groups: Dict[FlowKey, List[int]] = defaultdict(list)
+            for index in remaining:
+                chain = chains[index]
+                if level >= len(chain):
+                    continue
+                ancestor_key = chain[level]
+                if ancestor_key.is_root:
+                    continue
+                groups[ancestor_key].append(index)
+            for ancestor_key, members in groups.items():
+                if len(members) < 2 and ancestor_key not in tree:
+                    continue
+                target = tree._get_or_create_node(ancestor_key)
+                for index in members:
+                    victim = victims[index]
+                    if victim is target or victim.key not in tree._nodes:
+                        remaining.discard(index)
+                        continue
+                    target.counters.add(victim.counters)
+                    tree._remove_node(victim)
+                    remaining.discard(index)
+
+        # Whatever is left met nothing below the root: fold into the tree parent
+        # (usually the root), which is the coarsest possible summary.
+        shortfall = len(tree) - (before - excess)
+        if shortfall > 0:
+            for index in sorted(remaining):
+                victim = victims[index]
+                if victim.key not in tree._nodes:
+                    continue
+                parent = victim.parent if victim.parent is not None else tree.root
+                parent.counters.add(victim.counters)
+                tree._remove_node(victim)
+                shortfall -= 1
+                if shortfall <= 0:
+                    break
+        return before - len(tree)
+
+    def _select_victims(self, tree: "Flowtree", excess: int) -> List[FlowtreeNode]:
+        """Leaves with the smallest complementary popularity, cheapest first."""
+        candidates = [
+            node
+            for node in tree._all_nodes()
+            if node is not tree.root and node.is_leaf
+        ]
+        if self._config.protected_min_count > 0:
+            unprotected = [
+                node
+                for node in candidates
+                if node.counters.packets < self._config.protected_min_count
+            ]
+            # Protection is best-effort: if honouring it would leave the tree
+            # over budget with nothing to evict, fall back to all leaves.
+            if unprotected:
+                candidates = unprotected
+        if not candidates:
+            return []
+        candidates.sort(key=lambda node: (node.counters.packets, -node.key.specificity))
+        batch = max(self._config.victim_batch, excess)
+        return candidates[:batch]
+
+
+def fold_into(target: FlowtreeNode, victims: Sequence[FlowtreeNode]) -> None:
+    """Add the counters of every victim into ``target`` (no structure changes).
+
+    Exposed for tests and for callers that implement custom folding
+    strategies on top of the core primitives.
+    """
+    for victim in victims:
+        target.counters.add(victim.counters)

@@ -1,0 +1,178 @@
+"""Higher-level query helpers: batch estimation, decomposition and drill-down.
+
+The Flowtree's :meth:`~repro.core.flowtree.Flowtree.estimate` answers one
+popularity query.  Operators rarely ask one question at a time — they ask
+"what is underneath this /8?" or "estimate every flow in this list" — so
+this module provides the batch and exploratory forms used by the analysis
+layer, the CLI and the distributed query engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import QueryError
+from repro.core.flowtree import Estimate, Flowtree
+from repro.core.key import FlowKey
+from repro.features.base import Feature
+
+
+def estimate_many(tree: Flowtree, keys: Iterable[FlowKey]) -> Dict[FlowKey, Estimate]:
+    """Estimate every key of an iterable; returns a key-indexed mapping."""
+    return {key: tree.estimate(key) for key in keys}
+
+
+def estimate_values(
+    tree: Flowtree, keys: Iterable[FlowKey], metric: str = "packets"
+) -> Dict[FlowKey, int]:
+    """Like :func:`estimate_many` but returning bare numbers for one metric."""
+    return {key: tree.estimate(key).value(metric) for key in keys}
+
+
+@dataclass(frozen=True)
+class DecompositionTerm:
+    """One term of a query decomposition.
+
+    ``kind`` is ``"node"`` for an exactly answerable sub-query and
+    ``"residual"`` for the proportional share attributed from an ancestor.
+    """
+
+    key: FlowKey
+    kind: str
+    value: int
+
+
+def decompose(tree: Flowtree, key: FlowKey, metric: str = "packets") -> List[DecompositionTerm]:
+    """Explain how a query is answered (the paper's query decomposition).
+
+    Returns the kept keys whose counters contribute to the estimate plus,
+    when the query key itself is not kept, the residual term charged from
+    the nearest kept ancestor.  The sum of the term values equals the
+    estimate returned by :meth:`Flowtree.estimate` (up to rounding of the
+    residual share).
+    """
+    terms: List[DecompositionTerm] = []
+    if key in tree:
+        node = tree._get_node(key)
+        for member in node.iter_subtree():
+            value = member.counters.weight(metric)
+            if value:
+                terms.append(DecompositionTerm(member.key, "node", value))
+        return terms
+    for other_key, counters in tree.items():
+        if key.contains(other_key):
+            value = counters.weight(metric)
+            if value:
+                terms.append(DecompositionTerm(other_key, "node", value))
+    estimate = tree.estimate(key)
+    residual = estimate.from_ancestor.weight(metric)
+    if residual:
+        terms.append(DecompositionTerm(key, "residual", residual))
+    return terms
+
+
+def children_of(
+    tree: Flowtree,
+    key: FlowKey,
+    feature_index: int,
+    step: int = 1,
+    metric: str = "packets",
+    min_value: int = 0,
+) -> List[Tuple[FlowKey, int]]:
+    """Popularity broken down one level below ``key`` along one feature.
+
+    ``feature_index`` selects which dimension to specialize and ``step`` how
+    many hierarchy levels to descend (e.g. ``step=8`` splits an IPv4 /8 into
+    /16s).  Only kept keys contribute, so the breakdown reflects what the
+    summary knows; the remainder (traffic the summary only holds at coarser
+    granularity) is reported under ``key`` itself as the last entry.
+    """
+    if not 0 <= feature_index < key.arity:
+        raise QueryError(f"feature index {feature_index} out of range for key {key.pretty()}")
+    total = tree.estimate(key).value(metric)
+    buckets: Dict[FlowKey, int] = {}
+    for other_key, counters in tree.items():
+        if other_key == key or not key.contains(other_key):
+            continue
+        feature = other_key[feature_index]
+        target_spec = key[feature_index].specificity + step
+        if feature.specificity < target_spec:
+            continue
+        bucket_key = _generalize_single_feature(other_key, feature_index, target_spec, key)
+        buckets[bucket_key] = buckets.get(bucket_key, 0) + counters.weight(metric)
+    ranked = sorted(
+        ((bucket, value) for bucket, value in buckets.items() if value >= min_value),
+        key=lambda item: item[1],
+        reverse=True,
+    )
+    accounted = sum(value for _, value in ranked)
+    remainder = total - accounted
+    if remainder > 0:
+        ranked.append((key, remainder))
+    return ranked
+
+
+def _generalize_single_feature(
+    key: FlowKey, feature_index: int, target_specificity: int, template: FlowKey
+) -> FlowKey:
+    """Project ``key`` so only ``feature_index`` stays specific (at ``target_specificity``)."""
+    features: List[Feature] = list(template.features)
+    feature = key[feature_index]
+    while feature.specificity > target_specificity:
+        feature = feature.generalize()
+    features[feature_index] = feature
+    return FlowKey(features)
+
+
+@dataclass(frozen=True)
+class DrilldownStep:
+    """One level of an automated drill-down investigation."""
+
+    key: FlowKey
+    value: int
+    share_of_parent: float
+    depth: int
+
+
+def drill_down(
+    tree: Flowtree,
+    start: FlowKey,
+    feature_index: int,
+    metric: str = "packets",
+    step: int = 8,
+    dominance: float = 0.5,
+    max_depth: int = 6,
+) -> List[DrilldownStep]:
+    """Follow the dominant contributor below ``start`` until it stops dominating.
+
+    This automates the paper's motivating workflow ("prefix X/8 received a
+    lot of traffic — is it one IP, one /24, or something broader?"): at each
+    level the largest bucket is followed as long as it carries at least
+    ``dominance`` of its parent's traffic.
+    """
+    path: List[DrilldownStep] = []
+    current = start
+    current_value = tree.estimate(start).value(metric)
+    for depth in range(1, max_depth + 1):
+        if current_value <= 0:
+            break
+        breakdown = children_of(tree, current, feature_index, step=step, metric=metric)
+        candidates = [(key, value) for key, value in breakdown if key != current]
+        if not candidates:
+            break
+        best_key, best_value = candidates[0]
+        share = best_value / current_value if current_value else 0.0
+        if share < dominance:
+            break
+        path.append(DrilldownStep(key=best_key, value=best_value, share_of_parent=share, depth=depth))
+        current, current_value = best_key, best_value
+    return path
+
+
+def coverage(tree: Flowtree, keys: Sequence[FlowKey]) -> float:
+    """Fraction of the given keys that are kept exactly (present as nodes)."""
+    if not keys:
+        return 0.0
+    present = sum(1 for key in keys if key in tree)
+    return present / len(keys)

@@ -1,0 +1,557 @@
+"""The Flowtree data structure.
+
+A Flowtree is a bounded-size, self-adjusting summary of a stream of flows or
+packets.  It keeps popular generalized flows as explicit nodes, stores only
+*complementary* popularity per node, folds unpopular nodes into coarser
+aggregates when the node budget is exceeded, and supports the paper's three
+operators: ``query``, ``merge`` and ``diff``.
+
+Update path (paper Sec. 2): when a flow arrives we look up its fully
+specific key; if present we increment its counters, otherwise we walk the
+canonical generalization chain to the *longest matching ancestor* already in
+the tree and insert the new node directly below it.  No statistics are
+aggregated upward during updates, which keeps updates amortized O(1);
+queries pay the aggregation cost instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.compaction import Compactor
+from repro.core.config import FlowtreeConfig
+from repro.core.errors import QueryError, SchemaMismatchError
+from repro.core.key import FlowKey
+from repro.core.node import Counters, FlowtreeNode
+from repro.core.policy import ChainBuilder, GeneralizationPolicy, get_policy
+from repro.features.schema import FlowSchema
+
+
+@dataclass
+class UpdateStats:
+    """Bookkeeping about the work a Flowtree has done (exposed read-only)."""
+
+    updates: int = 0
+    inserts: int = 0
+    chain_steps: int = 0
+    compactions: int = 0
+    folded_nodes: int = 0
+    merged_trees: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict copy for reports and tests."""
+        return {
+            "updates": self.updates,
+            "inserts": self.inserts,
+            "chain_steps": self.chain_steps,
+            "compactions": self.compactions,
+            "folded_nodes": self.folded_nodes,
+            "merged_trees": self.merged_trees,
+        }
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """Result of a popularity query.
+
+    Attributes:
+        key: the queried key.
+        counters: estimated popularity (packets / bytes / flows).
+        exact_node: ``True`` when the key itself is a kept node, so the
+            estimate contains no proportional component.
+        from_descendants: portion of the estimate contributed by kept
+            descendants of the key.
+        from_ancestor: proportional share attributed from the nearest kept
+            ancestor's complementary popularity (zero for exact nodes).
+    """
+
+    key: FlowKey
+    counters: Counters
+    exact_node: bool
+    from_descendants: Counters = field(default_factory=Counters)
+    from_ancestor: Counters = field(default_factory=Counters)
+
+    def value(self, metric: str = "packets") -> int:
+        """Shortcut for ``counters.weight(metric)``."""
+        return self.counters.weight(metric)
+
+
+class Flowtree:
+    """Self-adjusting summary of hierarchical flows (the paper's contribution).
+
+    Args:
+        schema: which features make up the flow key (1-, 2-, 4- or
+            5-feature schemas are provided in :mod:`repro.features.schema`).
+        config: node budget and self-adjustment knobs; defaults to the
+            paper's evaluation configuration shape (40 k nodes, round-robin
+            generalization).
+
+    Example::
+
+        tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=40_000))
+        for record in trace:
+            tree.add_record(record)
+        estimate = tree.estimate(FlowKey.from_wire(SCHEMA_4F, ("1.1.1.0/24", "*", "*", "*")))
+    """
+
+    def __init__(self, schema: FlowSchema, config: Optional[FlowtreeConfig] = None) -> None:
+        self._schema = schema
+        self._config = config or FlowtreeConfig()
+        self._policy: GeneralizationPolicy = get_policy(self._config.policy)
+        self._chain = ChainBuilder.for_schema(
+            schema,
+            self._policy,
+            ip_stride=self._config.ip_stride,
+            port_stride=self._config.port_stride,
+        )
+        self._max_spec = self._chain.max_specificity
+        self._trajectory_levels = set(self._chain.trajectory())
+
+        root_key = FlowKey.root(schema)
+        self._root = FlowtreeNode(root_key)
+        self._nodes: Dict[FlowKey, FlowtreeNode] = {root_key: self._root}
+        self._stats = UpdateStats()
+        self._compactor = Compactor(self._config)
+
+    # -- basic properties -----------------------------------------------------
+
+    @property
+    def schema(self) -> FlowSchema:
+        """The flow schema this tree summarizes."""
+        return self._schema
+
+    @property
+    def config(self) -> FlowtreeConfig:
+        """The configuration the tree was built with."""
+        return self._config
+
+    @property
+    def policy(self) -> GeneralizationPolicy:
+        """The generalization policy defining canonical parents."""
+        return self._policy
+
+    @property
+    def chain_builder(self) -> ChainBuilder:
+        """The canonical-chain builder (policy + generalization levels)."""
+        return self._chain
+
+    @property
+    def root(self) -> FlowtreeNode:
+        """The all-wildcard root node (always present)."""
+        return self._root
+
+    @property
+    def stats(self) -> UpdateStats:
+        """Work counters (updates, inserts, compactions, ...)."""
+        return self._stats
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, key: FlowKey) -> bool:
+        return key in self._nodes
+
+    def node_count(self) -> int:
+        """Number of kept nodes, including the root."""
+        return len(self._nodes)
+
+    def keys(self) -> Iterator[FlowKey]:
+        """Iterate over all kept keys (order unspecified)."""
+        return iter(self._nodes.keys())
+
+    def items(self) -> Iterator[Tuple[FlowKey, Counters]]:
+        """Iterate over ``(key, complementary counters)`` pairs."""
+        for key, node in self._nodes.items():
+            yield key, node.counters
+
+    def complementary_counters(self, key: FlowKey) -> Optional[Counters]:
+        """Complementary popularity stored at ``key`` (``None`` if absent)."""
+        node = self._nodes.get(key)
+        return node.counters.copy() if node is not None else None
+
+    def total_counters(self) -> Counters:
+        """Total traffic summarized (sum of all complementary counters)."""
+        total = Counters()
+        for node in self._nodes.values():
+            total.add(node.counters)
+        return total
+
+    # -- update path ----------------------------------------------------------
+
+    def add(
+        self,
+        key: FlowKey,
+        packets: int = 1,
+        bytes: int = 0,
+        flows: int = 1,
+    ) -> None:
+        """Charge ``packets``/``bytes``/``flows`` to ``key``.
+
+        ``key`` is usually a fully specific flow key, but partially
+        generalized keys are accepted (they must come from the same policy
+        trajectory for the structural invariants to hold; arbitrary keys
+        still work, they are simply inserted below their longest matching
+        chain ancestor).
+        """
+        self._stats.updates += 1
+        node = self._nodes.get(key)
+        if node is None:
+            ancestor = self._longest_matching_ancestor(key)
+            node = self._insert_under(key, ancestor)
+        node.counters.packets += packets
+        node.counters.bytes += bytes
+        node.counters.flows += flows
+        node.updated_seq = self._stats.updates
+        self._maybe_compact()
+
+    def add_record(self, record: object) -> None:
+        """Charge one flow/packet record (duck-typed, see :mod:`repro.flows.records`)."""
+        key = FlowKey.from_record(self._schema, record)
+        packets = getattr(record, "packets", 1)
+        record_bytes = getattr(record, "bytes", 0) if self._config.count_bytes else 0
+        self.add(key, packets=packets, bytes=record_bytes, flows=1)
+
+    def add_records(self, records: Iterable[object]) -> int:
+        """Charge every record of an iterable; returns the number consumed."""
+        count = 0
+        for record in records:
+            self.add_record(record)
+            count += 1
+        return count
+
+    def _longest_matching_ancestor(self, key: FlowKey) -> FlowtreeNode:
+        """Walk the canonical chain until an existing node is found (root terminates)."""
+        for ancestor_key in self._chain.chain(key):
+            self._stats.chain_steps += 1
+            node = self._nodes.get(ancestor_key)
+            if node is not None:
+                return node
+        return self._root
+
+    def _insert_under(self, key: FlowKey, ancestor: FlowtreeNode) -> FlowtreeNode:
+        """Create a node for ``key`` below ``ancestor``, preserving containment.
+
+        Children of ``ancestor`` that the new key contains are re-parented
+        below the new node; this only ever happens for partially
+        generalized keys (fully specific keys cannot contain anything),
+        so the hot update path never pays for it.
+        """
+        node = FlowtreeNode(key, created_seq=self._stats.updates)
+        if not key.specificity_vector == self._max_spec:
+            to_reparent = [
+                child for child in ancestor.children.values() if key.is_ancestor_of(child.key)
+            ]
+            for child in to_reparent:
+                node.attach_child(child)
+        ancestor.attach_child(node)
+        self._nodes[key] = node
+        self._stats.inserts += 1
+        return node
+
+    def _maybe_compact(self) -> None:
+        if not self._config.compaction_enabled:
+            return
+        if len(self._nodes) <= self._config.max_nodes:
+            return
+        self.compact()
+
+    def compact(self, target_nodes: Optional[int] = None) -> int:
+        """Fold low-contribution nodes until the tree fits ``target_nodes``.
+
+        Returns the number of nodes removed.  Public so callers can compact
+        eagerly before serializing or shipping a summary.
+        """
+        if target_nodes is None:
+            target_nodes = self._config.target_nodes
+        if target_nodes is None:
+            return 0
+        removed = self._compactor.compact(self, target_nodes)
+        if removed:
+            self._stats.compactions += 1
+            self._stats.folded_nodes += removed
+        return removed
+
+    # -- internal hooks used by the compactor and the operators ----------------
+
+    def _get_node(self, key: FlowKey) -> Optional[FlowtreeNode]:
+        return self._nodes.get(key)
+
+    def _all_nodes(self) -> List[FlowtreeNode]:
+        return list(self._nodes.values())
+
+    def _remove_node(self, node: FlowtreeNode) -> None:
+        """Unlink ``node`` and hand its children to its parent (root never removed)."""
+        if node is self._root:
+            raise QueryError("the root node cannot be removed")
+        parent = node.parent if node.parent is not None else self._root
+        for child in list(node.children.values()):
+            parent.attach_child(child)
+        node.detach()
+        del self._nodes[node.key]
+
+    def _get_or_create_node(self, key: FlowKey) -> FlowtreeNode:
+        node = self._nodes.get(key)
+        if node is None:
+            ancestor = self._longest_matching_ancestor(key)
+            node = self._insert_under(key, ancestor)
+        return node
+
+    # -- queries ----------------------------------------------------------------
+
+    def estimate(self, key: FlowKey) -> Estimate:
+        """Estimated popularity of ``key`` (the paper's *query* operator).
+
+        If the key is a kept node the answer is exact with respect to the
+        summary (own complementary popularity plus kept descendants).  If
+        not, the query is decomposed: kept descendants of the key are
+        summed and the nearest kept ancestor contributes a share of its
+        complementary popularity proportional to the fraction of its key
+        space the query covers.
+        """
+        if key.arity != len(self._schema):
+            raise QueryError(
+                f"query key has arity {key.arity}, schema {self._schema.name!r} "
+                f"has {len(self._schema)} fields"
+            )
+        node = self._nodes.get(key)
+        if node is not None:
+            descendants = Counters()
+            for member in node.iter_subtree():
+                if member is not node:
+                    descendants.add(member.counters)
+            total = node.counters + descendants
+            return Estimate(
+                key=key,
+                counters=total,
+                exact_node=True,
+                from_descendants=descendants,
+                from_ancestor=Counters(),
+            )
+        return self._estimate_absent(key)
+
+    def _estimate_absent(self, key: FlowKey) -> Estimate:
+        fully_specific = key.specificity_vector == self._max_spec
+        if fully_specific:
+            # Nothing can be contained in a fully specific key, so the whole
+            # estimate comes from the nearest kept ancestor.  This is the hot
+            # path of the Fig. 3 accuracy evaluation.
+            ancestor = self._longest_matching_ancestor(key)
+            share = min(1.0, key.cardinality / ancestor.key.cardinality)
+            from_ancestor = ancestor.counters.scaled(share)
+            return Estimate(
+                key=key,
+                counters=from_ancestor.copy(),
+                exact_node=False,
+                from_descendants=Counters(),
+                from_ancestor=from_ancestor,
+            )
+        on_trajectory = key.specificity_vector in self._trajectory_levels
+        if on_trajectory:
+            ancestor = self._longest_matching_ancestor(key)
+            descendants = Counters()
+            for member in ancestor.iter_subtree():
+                if member is not ancestor and key.contains(member.key):
+                    descendants.add(member.counters)
+        else:
+            # Off-trajectory keys (arbitrary lattice points) fall back to a
+            # full scan: time proportional to the number of tree nodes,
+            # exactly the bound stated in the paper.
+            ancestor = self._root
+            descendants = Counters()
+            for other in self._nodes.values():
+                if other.key is ancestor.key:
+                    continue
+                if key.contains(other.key):
+                    descendants.add(other.counters)
+                elif other.key.is_ancestor_of(key) and (
+                    ancestor is self._root or ancestor.key.contains(other.key)
+                ):
+                    ancestor = other
+        share = min(1.0, key.cardinality / ancestor.key.cardinality)
+        from_ancestor = ancestor.counters.scaled(share)
+        total = descendants + from_ancestor
+        return Estimate(
+            key=key,
+            counters=total,
+            exact_node=False,
+            from_descendants=descendants,
+            from_ancestor=from_ancestor,
+        )
+
+    def popularity(self, key: FlowKey, metric: str = "packets") -> int:
+        """Convenience wrapper: estimated popularity as a single number."""
+        return self.estimate(key).value(metric)
+
+    def subtree_counters(self, key: FlowKey) -> Counters:
+        """Popularity of a kept key (raises if the key is not kept)."""
+        node = self._nodes.get(key)
+        if node is None:
+            raise QueryError(f"key {key.pretty()} is not present in the Flowtree")
+        return node.subtree_counters()
+
+    def cumulative_counters(self) -> Dict[FlowKey, Counters]:
+        """Cumulative (subtree) popularity of every kept key, in one O(n log n) pass.
+
+        Equivalent to calling :meth:`subtree_counters` for every key but
+        computed bottom-up, which the alerting layer and reports rely on
+        when comparing whole summaries.
+        """
+        totals = {key: node.counters.copy() for key, node in self._nodes.items()}
+        for node in sorted(
+            self._nodes.values(), key=lambda member: member.key.specificity, reverse=True
+        ):
+            if node.parent is not None:
+                totals[node.parent.key].add(totals[node.key])
+        return totals
+
+    def top(self, n: int = 10, metric: str = "packets") -> List[Tuple[FlowKey, int]]:
+        """The ``n`` keys with the largest complementary popularity.
+
+        Complementary (not cumulative) popularity is the natural ranking
+        for "which individual aggregates matter most": a node that is only
+        popular because of one popular child ranks below that child.
+        """
+        ranked = sorted(
+            ((key, node.counters.weight(metric)) for key, node in self._nodes.items()),
+            key=lambda item: item[1],
+            reverse=True,
+        )
+        return ranked[:n]
+
+    def heavy_keys(self, threshold_fraction: float, metric: str = "packets") -> List[FlowKey]:
+        """Keys whose *cumulative* popularity exceeds a fraction of total traffic.
+
+        Used for the paper's claim that every flow above 1 % of packets is
+        present in the tree.
+        """
+        if not 0.0 < threshold_fraction <= 1.0:
+            raise QueryError(f"threshold_fraction must be in (0, 1], got {threshold_fraction}")
+        total = self.total_counters().weight(metric)
+        if total == 0:
+            return []
+        cutoff = total * threshold_fraction
+        cumulative = self.cumulative_counters()
+        return [key for key, counters in cumulative.items() if counters.weight(metric) >= cutoff]
+
+    # -- operators ----------------------------------------------------------------
+
+    def merge(self, other: "Flowtree") -> None:
+        """In-place merge (the paper's *merge* operator): ``self += other``.
+
+        Complementary counters are added node-wise; keys absent from this
+        tree are inserted under their longest matching ancestor.  The node
+        budget is re-enforced afterwards, so merging never grows the
+        summary past its configured size.
+        """
+        self._check_compatible(other)
+        # Insert more general keys first so containment re-parenting stays cheap
+        # and deterministic.
+        for key, counters in sorted(other.items(), key=lambda item: item[0].specificity):
+            if counters.is_zero:
+                continue
+            node = self._get_or_create_node(key)
+            node.counters.add(counters)
+        self._stats.merged_trees += 1
+        self._maybe_compact()
+
+    def merged(self, other: "Flowtree") -> "Flowtree":
+        """Pure version of :meth:`merge`: returns a new tree, operands untouched."""
+        result = self.copy()
+        result.merge(other)
+        return result
+
+    def diff(self, other: "Flowtree") -> "Flowtree":
+        """The paper's *diff* operator: a new tree holding ``self - other``.
+
+        Counters of the result may be negative; a negative complementary
+        count means the key lost popularity between the two summaries,
+        which is exactly the signal the alarming layer looks for.
+        """
+        self._check_compatible(other)
+        result = self.copy()
+        for key, counters in sorted(other.items(), key=lambda item: item[0].specificity):
+            if counters.is_zero:
+                continue
+            node = result._get_or_create_node(key)
+            node.counters.subtract(counters)
+        return result
+
+    def copy(self) -> "Flowtree":
+        """Deep copy (same schema, config and counters; fresh node objects)."""
+        clone = Flowtree(self._schema, self._config)
+        for key, counters in sorted(self.items(), key=lambda item: item[0].specificity):
+            if key.is_root:
+                clone._root.counters = counters.copy()
+                continue
+            node = clone._get_or_create_node(key)
+            node.counters = counters.copy()
+        clone._stats.updates = self._stats.updates
+        return clone
+
+    def _check_compatible(self, other: "Flowtree") -> None:
+        if not isinstance(other, Flowtree):
+            raise SchemaMismatchError(f"expected a Flowtree, got {type(other).__name__}")
+        if other._schema != self._schema:
+            raise SchemaMismatchError(
+                f"cannot combine Flowtrees with schemas {self._schema.name!r} "
+                f"and {other._schema.name!r}"
+            )
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def prune_zero_nodes(self) -> int:
+        """Drop nodes whose counters are all zero (after diffs); returns count removed."""
+        removable = [
+            node
+            for node in self._nodes.values()
+            if node is not self._root and node.counters.is_zero and node.is_leaf
+        ]
+        # Removing leaves can expose new zero-count leaves; iterate to a fixed point.
+        removed = 0
+        while removable:
+            for node in removable:
+                self._remove_node(node)
+                removed += 1
+            removable = [
+                node
+                for node in self._nodes.values()
+                if node is not self._root and node.counters.is_zero and node.is_leaf
+            ]
+        return removed
+
+    def validate(self) -> None:
+        """Check structural invariants (used heavily by the test suite).
+
+        * every non-root node's parent contains it,
+        * every child link is mirrored by a parent link,
+        * the node index matches the tree reachable from the root,
+        * no node other than the root is its own ancestor.
+        """
+        reachable = {node.key for node in self._root.iter_subtree()}
+        indexed = set(self._nodes.keys())
+        if reachable != indexed:
+            missing = indexed - reachable
+            extra = reachable - indexed
+            raise QueryError(
+                f"node index out of sync with tree: missing={len(missing)}, extra={len(extra)}"
+            )
+        for node in self._nodes.values():
+            if node is self._root:
+                if node.parent is not None:
+                    raise QueryError("root must not have a parent")
+                continue
+            if node.parent is None:
+                raise QueryError(f"non-root node {node.key.pretty()} has no parent")
+            if not node.parent.key.contains(node.key):
+                raise QueryError(
+                    f"parent {node.parent.key.pretty()} does not contain child {node.key.pretty()}"
+                )
+            if node.parent.children.get(node.key) is not node:
+                raise QueryError(f"child link missing for {node.key.pretty()}")
+
+    def __repr__(self) -> str:
+        return (
+            f"Flowtree(schema={self._schema.name!r}, nodes={len(self._nodes)}, "
+            f"updates={self._stats.updates})"
+        )

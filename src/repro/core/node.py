@@ -1,0 +1,161 @@
+"""Flowtree nodes and popularity counters.
+
+A node stores the **complementary popularity** of its key: only the traffic
+charged directly to it, not the traffic of its kept descendants (the paper's
+central space/accuracy trade-off).  The full popularity of a key is
+recovered at query time by summing the kept subtree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.key import FlowKey
+
+
+@dataclass
+class Counters:
+    """Popularity counters of a generalized flow.
+
+    The paper annotates nodes with packet count, byte count and/or flow
+    count; we track all three.  Counters form a commutative group under
+    :meth:`add` / :meth:`subtract`, which is what makes Flowtrees mergeable
+    and diffable.
+    """
+
+    packets: int = 0
+    bytes: int = 0
+    flows: int = 0
+
+    def add(self, other: "Counters") -> None:
+        """In-place element-wise addition."""
+        self.packets += other.packets
+        self.bytes += other.bytes
+        self.flows += other.flows
+
+    def subtract(self, other: "Counters") -> None:
+        """In-place element-wise subtraction (diff operator); may go negative."""
+        self.packets -= other.packets
+        self.bytes -= other.bytes
+        self.flows -= other.flows
+
+    def scaled(self, factor: float) -> "Counters":
+        """Return a proportionally scaled copy (used by the estimator)."""
+        return Counters(
+            packets=int(round(self.packets * factor)),
+            bytes=int(round(self.bytes * factor)),
+            flows=int(round(self.flows * factor)),
+        )
+
+    def copy(self) -> "Counters":
+        """Independent copy."""
+        return Counters(self.packets, self.bytes, self.flows)
+
+    @property
+    def is_zero(self) -> bool:
+        """``True`` when every counter is exactly zero."""
+        return self.packets == 0 and self.bytes == 0 and self.flows == 0
+
+    def weight(self, metric: str = "packets") -> int:
+        """Value of one named counter (``"packets"``, ``"bytes"`` or ``"flows"``)."""
+        if metric == "packets":
+            return self.packets
+        if metric == "bytes":
+            return self.bytes
+        if metric == "flows":
+            return self.flows
+        raise ValueError(f"unknown metric {metric!r}")
+
+    def __add__(self, other: "Counters") -> "Counters":
+        return Counters(
+            self.packets + other.packets,
+            self.bytes + other.bytes,
+            self.flows + other.flows,
+        )
+
+    def __sub__(self, other: "Counters") -> "Counters":
+        return Counters(
+            self.packets - other.packets,
+            self.bytes - other.bytes,
+            self.flows - other.flows,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Counters)
+            and self.packets == other.packets
+            and self.bytes == other.bytes
+            and self.flows == other.flows
+        )
+
+
+class FlowtreeNode:
+    """One kept generalized flow inside a Flowtree.
+
+    ``counters`` holds the complementary popularity.  ``parent`` points to
+    the nearest kept ancestor; ``children`` is maintained for subtree
+    aggregation and compaction.  Nodes are internal objects — the public
+    API exposes keys and counter snapshots, not live nodes.
+    """
+
+    __slots__ = ("key", "counters", "parent", "children", "created_seq", "updated_seq")
+
+    def __init__(self, key: FlowKey, created_seq: int = 0) -> None:
+        self.key = key
+        self.counters = Counters()
+        self.parent: Optional["FlowtreeNode"] = None
+        self.children: Dict[FlowKey, "FlowtreeNode"] = {}
+        self.created_seq = created_seq
+        self.updated_seq = created_seq
+
+    # -- structure ----------------------------------------------------------
+
+    def attach_child(self, child: "FlowtreeNode") -> None:
+        """Link ``child`` under this node (detaching it from any old parent)."""
+        if child.parent is not None:
+            child.parent.children.pop(child.key, None)
+        child.parent = self
+        self.children[child.key] = child
+
+    def detach(self) -> None:
+        """Unlink this node from its parent (children are untouched)."""
+        if self.parent is not None:
+            self.parent.children.pop(self.key, None)
+            self.parent = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """``True`` when the node has no kept descendants."""
+        return not self.children
+
+    @property
+    def depth(self) -> int:
+        """Number of parent links up to the root."""
+        depth = 0
+        node = self
+        while node.parent is not None:
+            node = node.parent
+            depth += 1
+        return depth
+
+    def iter_subtree(self) -> Iterator["FlowtreeNode"]:
+        """Yield this node and every descendant (pre-order, iterative)."""
+        stack: List[FlowtreeNode] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    def subtree_counters(self) -> Counters:
+        """Total popularity of the key: own plus all kept descendants."""
+        total = Counters()
+        for node in self.iter_subtree():
+            total.add(node.counters)
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"FlowtreeNode({self.key.pretty()}, packets={self.counters.packets}, "
+            f"children={len(self.children)})"
+        )

@@ -1,0 +1,51 @@
+"""Distributed flow summarization (the paper's Fig. 1 system).
+
+Per-router daemons summarize NetFlow/IPFIX exports into time-binned
+Flowtrees, ship full or diff-encoded summaries over a byte-accounted
+simulated transport to a central collector, and a query engine plus an
+alert manager provide the operator-facing views: cross-site volume
+queries, drill-down and alarming on significant changes.
+"""
+
+from repro.distributed.alerting import AlertManager, AlertPolicy
+from repro.distributed.collector import Collector
+from repro.distributed.daemon import DaemonStats, FlowtreeDaemon
+from repro.distributed.diffsync import (
+    DiffSyncDecoder,
+    DiffSyncEncoder,
+    EncodedSummary,
+    transfer_comparison,
+)
+from repro.distributed.messages import (
+    Alert,
+    QueryRequest,
+    QueryResponse,
+    SummaryMessage,
+    TransferLog,
+)
+from repro.distributed.query_engine import DistributedQueryEngine
+from repro.distributed.site import Deployment, MonitoringSite
+from repro.distributed.timeseries import FlowtreeTimeSeries
+from repro.distributed.transport import SimulatedTransport
+
+__all__ = [
+    "FlowtreeDaemon",
+    "DaemonStats",
+    "Collector",
+    "DistributedQueryEngine",
+    "Deployment",
+    "MonitoringSite",
+    "FlowtreeTimeSeries",
+    "SimulatedTransport",
+    "DiffSyncEncoder",
+    "DiffSyncDecoder",
+    "EncodedSummary",
+    "transfer_comparison",
+    "AlertManager",
+    "AlertPolicy",
+    "Alert",
+    "SummaryMessage",
+    "QueryRequest",
+    "QueryResponse",
+    "TransferLog",
+]

@@ -1,0 +1,115 @@
+"""Alarming on significant differences between consecutive summaries.
+
+The paper's future-work system "enables drill down and quick exploration
+but also alarming when there are significant differences".  The diff
+operator makes this nearly free: the alert manager compares each newly
+arrived bin with the previous one (per site), computes per-key relative
+changes over the union of kept keys, and raises alerts for keys whose
+change exceeds configurable thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.flowtree import Flowtree
+from repro.core.operators import relative_change
+from repro.distributed.collector import Collector
+from repro.distributed.messages import Alert
+
+
+@dataclass(frozen=True)
+class AlertPolicy:
+    """Thresholds controlling when a change becomes an alert.
+
+    Attributes:
+        min_popularity: ignore keys below this popularity in both bins
+            (filters one-packet noise).
+        warning_change: relative change that raises a ``warning``.
+        critical_change: relative change that raises a ``critical`` alert.
+        max_alerts_per_bin: cap per (site, bin) so a flash crowd does not
+            flood the operator.
+        metric: which counter to compare.
+    """
+
+    min_popularity: int = 1_000
+    warning_change: float = 1.0
+    critical_change: float = 4.0
+    max_alerts_per_bin: int = 20
+    metric: str = "packets"
+
+
+class AlertManager:
+    """Watches per-site summaries and raises alerts on significant changes."""
+
+    def __init__(self, policy: Optional[AlertPolicy] = None) -> None:
+        self._policy = policy or AlertPolicy()
+        self._previous: Dict[str, Flowtree] = {}
+        self._alerts: List[Alert] = []
+
+    @property
+    def policy(self) -> AlertPolicy:
+        """The thresholds in effect."""
+        return self._policy
+
+    @property
+    def alerts(self) -> List[Alert]:
+        """Every alert raised so far (newest last)."""
+        return list(self._alerts)
+
+    def observe(self, site: str, bin_index: int, tree: Flowtree) -> List[Alert]:
+        """Compare one new bin against the site's previous bin; return new alerts."""
+        policy = self._policy
+        previous = self._previous.get(site)
+        new_alerts: List[Alert] = []
+        if previous is not None:
+            changes = relative_change(
+                previous, tree, metric=policy.metric, min_popularity=policy.min_popularity
+            )
+            for key, before, after, change in changes:
+                severity = self._severity(change)
+                if severity is None:
+                    continue
+                new_alerts.append(
+                    Alert(
+                        site=site,
+                        bin_index=bin_index,
+                        key_wire=key.to_wire(),
+                        metric=policy.metric,
+                        before=before,
+                        after=after,
+                        change=change,
+                        severity=severity,
+                    )
+                )
+                if len(new_alerts) >= policy.max_alerts_per_bin:
+                    break
+        self._previous[site] = tree.copy()
+        self._alerts.extend(new_alerts)
+        return new_alerts
+
+    def scan_collector(self, collector: Collector) -> List[Alert]:
+        """Run :meth:`observe` over every site/bin of a collector, in time order.
+
+        Convenient for batch analysis after a replay; online deployments
+        call :meth:`observe` as bins arrive instead.
+        """
+        new_alerts: List[Alert] = []
+        for site in collector.sites:
+            series = collector.site_series(site)
+            for bin_index, tree in series.bins():
+                new_alerts.extend(self.observe(site, bin_index, tree))
+        return new_alerts
+
+    def critical_alerts(self) -> List[Alert]:
+        """Only the alerts with ``critical`` severity."""
+        return [alert for alert in self._alerts if alert.severity == "critical"]
+
+    def _severity(self, change: float) -> Optional[str]:
+        magnitude = abs(change)
+        if magnitude >= self._policy.critical_change:
+            return "critical"
+        if magnitude >= self._policy.warning_change:
+            return "warning"
+        return None

@@ -1,0 +1,152 @@
+"""Central collector: the database of Fig. 1.
+
+The collector drains summary messages from the transport, reconstructs full
+per-bin summaries (applying diffs on top of the last full summary per
+site), and stores them in one :class:`FlowtreeTimeSeries` per site.  On top
+of that it offers the cross-site views the paper motivates: merged
+summaries over any set of sites and time range, per-site breakdowns and the
+inputs the alerting layer needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.config import FlowtreeConfig
+from repro.core.errors import DaemonError
+from repro.core.flowtree import Flowtree
+from repro.core.key import FlowKey
+from repro.core.operators import merge_all
+from repro.distributed.diffsync import DiffSyncDecoder
+from repro.distributed.messages import SummaryMessage
+from repro.distributed.timeseries import FlowtreeTimeSeries
+from repro.distributed.transport import SimulatedTransport
+from repro.features.schema import FlowSchema
+
+
+class Collector:
+    """Receives summaries from all daemons and serves cross-site queries."""
+
+    def __init__(
+        self,
+        schema: FlowSchema,
+        transport: SimulatedTransport,
+        name: str = "collector",
+        bin_width: float = 60.0,
+        storage_config: Optional[FlowtreeConfig] = None,
+    ) -> None:
+        self._schema = schema
+        self._transport = transport
+        self._name = name
+        self._bin_width = bin_width
+        self._storage_config = storage_config or FlowtreeConfig()
+        self._decoder = DiffSyncDecoder()
+        self._series: Dict[str, FlowtreeTimeSeries] = {}
+        self._messages_processed = 0
+        self._bytes_received = 0
+        transport.register(name)
+
+    # -- properties -----------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Transport endpoint name of the collector."""
+        return self._name
+
+    @property
+    def sites(self) -> List[str]:
+        """Sites the collector has received at least one summary from."""
+        return sorted(self._series)
+
+    @property
+    def messages_processed(self) -> int:
+        """Number of summary messages consumed so far."""
+        return self._messages_processed
+
+    @property
+    def bytes_received(self) -> int:
+        """Total summary payload bytes received (excludes transport overhead)."""
+        return self._bytes_received
+
+    # -- ingestion --------------------------------------------------------------------
+
+    def poll(self, limit: Optional[int] = None) -> int:
+        """Drain pending summaries from the transport; returns how many were processed."""
+        processed = 0
+        for _, message in self._transport.receive(self._name, limit=limit):
+            if not isinstance(message, SummaryMessage):
+                raise DaemonError(
+                    f"collector received unexpected message type {type(message).__name__}"
+                )
+            self.ingest(message)
+            processed += 1
+        return processed
+
+    def ingest(self, message: SummaryMessage) -> None:
+        """Store one summary message (reconstructing from a diff if needed)."""
+        tree = self._decoder.decode(message)
+        series = self._series.get(message.site)
+        if series is None:
+            series = FlowtreeTimeSeries(
+                self._schema,
+                self._bin_width,
+                config=self._storage_config,
+                origin=message.bin_start - message.bin_index * self._bin_width,
+            )
+            self._series[message.site] = series
+        series.insert_tree(message.bin_index, tree)
+        self._messages_processed += 1
+        self._bytes_received += message.payload_bytes
+
+    # -- views -----------------------------------------------------------------------
+
+    def site_series(self, site: str) -> FlowtreeTimeSeries:
+        """The per-bin series of one site (raises for unknown sites)."""
+        series = self._series.get(site)
+        if series is None:
+            raise DaemonError(f"no summaries received from site {site!r}")
+        return series
+
+    def merged(
+        self,
+        sites: Optional[Iterable[str]] = None,
+        start_bin: Optional[int] = None,
+        end_bin: Optional[int] = None,
+    ) -> Flowtree:
+        """One summary over the chosen sites and bin range (the cross-site merge)."""
+        selected_sites = list(sites) if sites is not None else self.sites
+        trees = []
+        for site in selected_sites:
+            series = self.site_series(site)
+            for index, tree in series.bins():
+                if start_bin is not None and index < start_bin:
+                    continue
+                if end_bin is not None and index > end_bin:
+                    continue
+                trees.append(tree)
+        if not trees:
+            raise DaemonError("no summaries match the requested sites/bins")
+        return merge_all(trees)
+
+    def estimate(
+        self,
+        key: FlowKey,
+        sites: Optional[Iterable[str]] = None,
+        start_bin: Optional[int] = None,
+        end_bin: Optional[int] = None,
+        metric: str = "packets",
+    ) -> Tuple[int, Dict[str, int]]:
+        """``(total, per_site)`` popularity of ``key`` over sites and bins."""
+        selected_sites = list(sites) if sites is not None else self.sites
+        per_site: Dict[str, int] = {}
+        total = 0
+        for site in selected_sites:
+            series = self.site_series(site)
+            value = series.query_range(key, start_bin=start_bin, end_bin=end_bin, metric=metric)
+            per_site[site] = value
+            total += value
+        return total, per_site
+
+    def bins_for(self, site: str) -> List[int]:
+        """Populated bin indices of one site."""
+        return self.site_series(site).bin_indices()

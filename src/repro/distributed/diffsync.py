@@ -1,0 +1,139 @@
+"""Differential synchronization of consecutive summaries.
+
+The paper's transfer-cost argument: "Mergeable flow summaries can reduce
+transfer and storage volume by allowing transfer of only summaries or even
+difference of consecutive summaries."  This module implements both sides of
+that protocol:
+
+* the **encoder** (daemon side) decides, per bin, whether to ship the full
+  summary or the diff against the previous bin — diffs win when consecutive
+  bins share most of their keys, full summaries win after resets or when
+  traffic changed drastically;
+* the **decoder** (collector side) reconstructs the full per-bin summary by
+  applying diffs on top of the last full summary it holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.errors import DaemonError
+from repro.core.flowtree import Flowtree
+from repro.core.serialization import from_bytes, to_bytes
+from repro.distributed.messages import SUMMARY_DIFF, SUMMARY_FULL, SummaryMessage
+
+
+@dataclass
+class EncodedSummary:
+    """Outcome of encoding one bin: the chosen kind and its payload."""
+
+    kind: str
+    payload: bytes
+    full_size: int
+    diff_size: Optional[int]
+
+    @property
+    def chosen_size(self) -> int:
+        """Size of the payload actually shipped."""
+        return len(self.payload)
+
+    @property
+    def savings_fraction(self) -> float:
+        """Bytes saved relative to always shipping the full summary."""
+        if self.full_size == 0:
+            return 0.0
+        return 1.0 - self.chosen_size / self.full_size
+
+
+class DiffSyncEncoder:
+    """Daemon-side encoder: full summary or diff, whichever is smaller."""
+
+    def __init__(self, prefer_diff: bool = True, full_every: int = 0) -> None:
+        """``full_every > 0`` forces a full summary every N bins (checkpointing)."""
+        self._prefer_diff = prefer_diff
+        self._full_every = full_every
+        self._previous: Optional[Flowtree] = None
+        self._since_full = 0
+
+    def encode(self, tree: Flowtree) -> EncodedSummary:
+        """Encode one finished bin; remembers it as the new baseline."""
+        full_payload = to_bytes(tree)
+        diff_payload: Optional[bytes] = None
+        if self._previous is not None and self._prefer_diff:
+            delta = tree.diff(self._previous)
+            delta.prune_zero_nodes()
+            diff_payload = to_bytes(delta)
+        force_full = self._full_every > 0 and self._since_full >= self._full_every
+        if diff_payload is not None and not force_full and len(diff_payload) < len(full_payload):
+            result = EncodedSummary(
+                kind=SUMMARY_DIFF,
+                payload=diff_payload,
+                full_size=len(full_payload),
+                diff_size=len(diff_payload),
+            )
+            self._since_full += 1
+        else:
+            result = EncodedSummary(
+                kind=SUMMARY_FULL,
+                payload=full_payload,
+                full_size=len(full_payload),
+                diff_size=len(diff_payload) if diff_payload is not None else None,
+            )
+            self._since_full = 0
+        self._previous = tree.copy()
+        return result
+
+    def reset(self) -> None:
+        """Forget the baseline (the next bin will be a full summary)."""
+        self._previous = None
+        self._since_full = 0
+
+
+class DiffSyncDecoder:
+    """Collector-side decoder: rebuilds full summaries from fulls + diffs."""
+
+    def __init__(self) -> None:
+        self._previous: Dict[str, Flowtree] = {}
+
+    def decode(self, message: SummaryMessage) -> Flowtree:
+        """Reconstruct the full summary carried by ``message``.
+
+        Raises :class:`~repro.core.errors.DaemonError` when a diff arrives
+        for a site whose baseline is unknown (the daemon must send a full
+        summary first).
+        """
+        payload_tree = from_bytes(message.payload)
+        if message.kind == SUMMARY_FULL:
+            reconstructed = payload_tree
+        elif message.kind == SUMMARY_DIFF:
+            baseline = self._previous.get(message.site)
+            if baseline is None:
+                raise DaemonError(
+                    f"received a diff from site {message.site!r} without a prior full summary"
+                )
+            reconstructed = baseline.merged(payload_tree)
+            reconstructed.prune_zero_nodes()
+        else:
+            raise DaemonError(f"unknown summary kind {message.kind!r}")
+        self._previous[message.site] = reconstructed.copy()
+        return reconstructed
+
+    def baseline(self, site: str) -> Optional[Flowtree]:
+        """The last reconstructed summary for a site (``None`` if none yet)."""
+        return self._previous.get(site)
+
+
+def transfer_comparison(trees) -> Tuple[int, int]:
+    """``(full_bytes, diff_bytes)`` for shipping a time-ordered list of summaries.
+
+    Convenience used by the CLAIM-TRANSFER benchmark: the first summary is
+    always shipped in full; subsequent ones as diffs.
+    """
+    trees = list(trees)
+    full_total = sum(len(to_bytes(tree)) for tree in trees)
+    encoder = DiffSyncEncoder(prefer_diff=True)
+    diff_total = 0
+    for tree in trees:
+        diff_total += encoder.encode(tree).chosen_size
+    return full_total, diff_total

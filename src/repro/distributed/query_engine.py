@@ -1,0 +1,157 @@
+"""Distributed query engine.
+
+The operator-facing layer of the Fig. 1 system: it accepts
+:class:`~repro.distributed.messages.QueryRequest` objects (or the typed
+convenience methods), runs them against the collector's per-site time
+series, and returns structured responses with per-site and per-bin
+breakdowns — the "total volume of traffic sent by one of its peers to all
+of five ISP's sites in the last 24 hours" query from the paper's
+introduction, plus drill-down and top-k.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import QueryError
+from repro.core.estimator import children_of, drill_down
+from repro.core.key import FlowKey
+from repro.distributed.collector import Collector
+from repro.distributed.messages import QueryRequest, QueryResponse
+
+
+class DistributedQueryEngine:
+    """Executes hierarchical flow queries across sites and time bins."""
+
+    def __init__(self, collector: Collector) -> None:
+        self._collector = collector
+        self._next_request_id = 1
+
+    # -- request/response interface ----------------------------------------------------
+
+    def execute(self, request: QueryRequest) -> QueryResponse:
+        """Run a :class:`QueryRequest` and return its :class:`QueryResponse`."""
+        sites = list(request.sites) if request.sites else self._collector.sites
+        if not sites:
+            raise QueryError("the collector has not received any summaries yet")
+        schema = self._collector.site_series(sites[0]).schema
+        key = FlowKey.from_wire(schema, request.key_wire)
+        total, per_site = self._collector.estimate(
+            key,
+            sites=request.sites,
+            start_bin=request.start_bin,
+            end_bin=request.end_bin,
+            metric=request.metric,
+        )
+        per_bin = self._per_bin(key, request)
+        exact = all(
+            key in tree
+            for site in (request.sites or self._collector.sites)
+            for _, tree in self._collector.site_series(site).bins()
+        )
+        return QueryResponse(
+            request_id=request.request_id,
+            total=total,
+            per_site=per_site,
+            per_bin=per_bin,
+            exact=exact,
+        )
+
+    def _per_bin(self, key: FlowKey, request: QueryRequest) -> Dict[int, int]:
+        per_bin: Dict[int, int] = {}
+        for site in request.sites or self._collector.sites:
+            series = self._collector.site_series(site)
+            for index, value in series.series(key, metric=request.metric).items():
+                if request.start_bin is not None and index < request.start_bin:
+                    continue
+                if request.end_bin is not None and index > request.end_bin:
+                    continue
+                per_bin[index] = per_bin.get(index, 0) + value
+        return per_bin
+
+    # -- typed convenience queries -------------------------------------------------------
+
+    def volume(
+        self,
+        key_wire: Sequence[str],
+        sites: Optional[Sequence[str]] = None,
+        start_bin: Optional[int] = None,
+        end_bin: Optional[int] = None,
+        metric: str = "packets",
+    ) -> QueryResponse:
+        """Total volume for a generalized flow over sites and a bin range."""
+        request = QueryRequest(
+            key_wire=tuple(key_wire),
+            metric=metric,
+            start_bin=start_bin,
+            end_bin=end_bin,
+            sites=tuple(sites) if sites is not None else None,
+            request_id=self._allocate_id(),
+        )
+        return self.execute(request)
+
+    def top_aggregates(
+        self,
+        n: int = 10,
+        sites: Optional[Sequence[str]] = None,
+        start_bin: Optional[int] = None,
+        end_bin: Optional[int] = None,
+        metric: str = "packets",
+    ) -> List[Tuple[FlowKey, int]]:
+        """The ``n`` most popular kept aggregates over the merged view."""
+        merged = self._collector.merged(sites=sites, start_bin=start_bin, end_bin=end_bin)
+        return merged.top(n, metric=metric)
+
+    def breakdown(
+        self,
+        key_wire: Sequence[str],
+        feature_index: int,
+        step: int = 8,
+        sites: Optional[Sequence[str]] = None,
+        start_bin: Optional[int] = None,
+        end_bin: Optional[int] = None,
+        metric: str = "packets",
+    ) -> List[Tuple[FlowKey, int]]:
+        """One drill-down level below a key along one feature (merged view)."""
+        merged = self._collector.merged(sites=sites, start_bin=start_bin, end_bin=end_bin)
+        key = FlowKey.from_wire(merged.schema, tuple(key_wire))
+        return children_of(merged, key, feature_index, step=step, metric=metric)
+
+    def investigate(
+        self,
+        key_wire: Sequence[str],
+        feature_index: int,
+        sites: Optional[Sequence[str]] = None,
+        start_bin: Optional[int] = None,
+        end_bin: Optional[int] = None,
+        metric: str = "packets",
+        dominance: float = 0.5,
+    ):
+        """Automated drill-down (paper intro: "is it one IP, one /24, ...?")."""
+        merged = self._collector.merged(sites=sites, start_bin=start_bin, end_bin=end_bin)
+        key = FlowKey.from_wire(merged.schema, tuple(key_wire))
+        return drill_down(
+            merged, key, feature_index, metric=metric, dominance=dominance
+        )
+
+    def compare_sites(
+        self,
+        key_wire: Sequence[str],
+        metric: str = "packets",
+        start_bin: Optional[int] = None,
+        end_bin: Optional[int] = None,
+    ) -> Dict[str, int]:
+        """Per-site popularity of one key (the "which site is affected?" view)."""
+        if not self._collector.sites:
+            raise QueryError("the collector has not received any summaries yet")
+        schema = self._collector.site_series(self._collector.sites[0]).schema
+        key = FlowKey.from_wire(schema, tuple(key_wire))
+        _, per_site = self._collector.estimate(
+            key, start_bin=start_bin, end_bin=end_bin, metric=metric
+        )
+        return per_site
+
+    def _allocate_id(self) -> int:
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        return request_id

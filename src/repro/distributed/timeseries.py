@@ -1,0 +1,168 @@
+"""Time-binned Flowtree store.
+
+The future-work system sketched in the paper's Sec. 3 "extends Flowtree by
+adding two features, namely time and monitor location".  Location is the
+collector's per-site dimension; time is this class: an ordered collection
+of Flowtrees, one per fixed-width bin, with range queries implemented by
+merging the bins of the range (the merge operator is exactly what makes
+this cheap).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.config import FlowtreeConfig
+from repro.core.errors import QueryError
+from repro.core.flowtree import Flowtree
+from repro.core.key import FlowKey
+from repro.core.operators import merge_all
+from repro.features.schema import FlowSchema
+
+
+class FlowtreeTimeSeries:
+    """One Flowtree per time bin, with range merge and range queries."""
+
+    def __init__(
+        self,
+        schema: FlowSchema,
+        bin_width: float,
+        config: Optional[FlowtreeConfig] = None,
+        origin: Optional[float] = None,
+    ) -> None:
+        if bin_width <= 0:
+            raise QueryError(f"bin_width must be positive, got {bin_width}")
+        self._schema = schema
+        self._bin_width = bin_width
+        self._config = config or FlowtreeConfig()
+        self._origin = origin
+        self._bins: Dict[int, Flowtree] = {}
+
+    # -- properties ------------------------------------------------------------
+
+    @property
+    def schema(self) -> FlowSchema:
+        """Schema shared by every bin."""
+        return self._schema
+
+    @property
+    def bin_width(self) -> float:
+        """Width of each time bin in seconds."""
+        return self._bin_width
+
+    @property
+    def origin(self) -> Optional[float]:
+        """Timestamp of the start of bin 0 (set by the first record seen)."""
+        return self._origin
+
+    def bin_indices(self) -> List[int]:
+        """Indices of all populated bins, in order."""
+        return sorted(self._bins)
+
+    def __len__(self) -> int:
+        return len(self._bins)
+
+    def __contains__(self, bin_index: int) -> bool:
+        return bin_index in self._bins
+
+    # -- writing -----------------------------------------------------------------
+
+    def bin_index_of(self, timestamp: float) -> int:
+        """Bin index a timestamp belongs to (fixes the origin on first use)."""
+        if self._origin is None:
+            self._origin = timestamp
+        return int((timestamp - self._origin) // self._bin_width)
+
+    def tree_for_bin(self, bin_index: int) -> Flowtree:
+        """The Flowtree of a bin, created on first access."""
+        tree = self._bins.get(bin_index)
+        if tree is None:
+            tree = Flowtree(self._schema, self._config)
+            self._bins[bin_index] = tree
+        return tree
+
+    def add_record(self, record: object) -> int:
+        """Route one record into its bin; returns the bin index used."""
+        bin_index = self.bin_index_of(record.timestamp)
+        self.tree_for_bin(bin_index).add_record(record)
+        return bin_index
+
+    def add_records(self, records) -> int:
+        """Route every record of an iterable; returns the number consumed."""
+        count = 0
+        for record in records:
+            self.add_record(record)
+            count += 1
+        return count
+
+    def insert_tree(self, bin_index: int, tree: Flowtree) -> None:
+        """Install (or merge into) a bin from an externally built summary."""
+        existing = self._bins.get(bin_index)
+        if existing is None:
+            self._bins[bin_index] = tree
+        else:
+            existing.merge(tree)
+
+    # -- reading -----------------------------------------------------------------
+
+    def tree(self, bin_index: int) -> Optional[Flowtree]:
+        """The Flowtree of a bin, or ``None`` if the bin is empty."""
+        return self._bins.get(bin_index)
+
+    def bins(self) -> Iterator[Tuple[int, Flowtree]]:
+        """Iterate over ``(bin_index, tree)`` pairs in time order."""
+        for index in self.bin_indices():
+            yield index, self._bins[index]
+
+    def bin_bounds(self, bin_index: int) -> Tuple[float, float]:
+        """``(start, end)`` timestamps of a bin."""
+        if self._origin is None:
+            raise QueryError("time series is empty; no origin established yet")
+        start = self._origin + bin_index * self._bin_width
+        return start, start + self._bin_width
+
+    def merged_range(self, start_bin: Optional[int] = None, end_bin: Optional[int] = None) -> Flowtree:
+        """One summary covering ``[start_bin, end_bin]`` (inclusive; ``None`` = open end)."""
+        selected = [
+            tree
+            for index, tree in self.bins()
+            if (start_bin is None or index >= start_bin)
+            and (end_bin is None or index <= end_bin)
+        ]
+        if not selected:
+            raise QueryError(
+                f"no populated bins in range [{start_bin}, {end_bin}]"
+            )
+        return merge_all(selected)
+
+    def query_range(
+        self,
+        key: FlowKey,
+        start_bin: Optional[int] = None,
+        end_bin: Optional[int] = None,
+        metric: str = "packets",
+    ) -> int:
+        """Estimated popularity of ``key`` over a bin range."""
+        total = 0
+        for index, tree in self.bins():
+            if start_bin is not None and index < start_bin:
+                continue
+            if end_bin is not None and index > end_bin:
+                continue
+            total += tree.estimate(key).value(metric)
+        return total
+
+    def series(self, key: FlowKey, metric: str = "packets") -> Dict[int, int]:
+        """Per-bin popularity of ``key`` (the drill-down-over-time view)."""
+        return {index: tree.estimate(key).value(metric) for index, tree in self.bins()}
+
+    def total_by_bin(self, metric: str = "packets") -> Dict[int, int]:
+        """Per-bin total traffic (capacity-planning style time series)."""
+        return {index: tree.total_counters().weight(metric) for index, tree in self.bins()}
+
+    def evict_before(self, bin_index: int) -> int:
+        """Drop bins older than ``bin_index`` (retention); returns bins removed."""
+        old = [index for index in self._bins if index < bin_index]
+        for index in old:
+            del self._bins[index]
+        return len(old)

@@ -1,0 +1,105 @@
+"""Simulated transport between daemons and the collector.
+
+The paper makes no latency/throughput claims about the wide-area network —
+its transfer-cost argument is purely about *how many bytes* must move
+(summaries or diffs instead of raw flow captures).  The transport is
+therefore an in-memory message switch with exact byte accounting per
+channel, which is what the CLAIM-TRANSFER benchmark measures.  A per-message
+framing overhead models UDP/IP + TLS headers so tiny diffs do not look
+artificially free.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.errors import TransportError
+from repro.distributed.messages import TransferLog
+
+#: Framing overhead charged per message (IP + UDP + record header, roughly).
+DEFAULT_OVERHEAD_BYTES = 64
+
+
+class SimulatedTransport:
+    """In-memory message switch with per-channel byte accounting."""
+
+    def __init__(self, overhead_bytes: int = DEFAULT_OVERHEAD_BYTES) -> None:
+        if overhead_bytes < 0:
+            raise TransportError(f"overhead_bytes must be non-negative, got {overhead_bytes}")
+        self._overhead = overhead_bytes
+        self._endpoints: Dict[str, Deque[Tuple[str, object]]] = {}
+        self._logs: Dict[Tuple[str, str], TransferLog] = defaultdict(TransferLog)
+
+    # -- endpoint management ---------------------------------------------------
+
+    def register(self, name: str) -> None:
+        """Create an endpoint (idempotent)."""
+        if not name:
+            raise TransportError("endpoint name must be non-empty")
+        self._endpoints.setdefault(name, deque())
+
+    def endpoints(self) -> List[str]:
+        """Names of all registered endpoints."""
+        return sorted(self._endpoints)
+
+    # -- send / receive ----------------------------------------------------------
+
+    def send(self, source: str, destination: str, message: object) -> None:
+        """Deliver ``message`` to ``destination``'s queue, accounting its size."""
+        if source not in self._endpoints:
+            raise TransportError(f"unknown source endpoint {source!r}")
+        if destination not in self._endpoints:
+            raise TransportError(f"unknown destination endpoint {destination!r}")
+        payload_bytes = getattr(message, "payload_bytes", None)
+        if payload_bytes is None:
+            payload = getattr(message, "payload", b"")
+            payload_bytes = len(payload) if isinstance(payload, (bytes, bytearray)) else 0
+        self._logs[(source, destination)].record(payload_bytes, self._overhead)
+        self._endpoints[destination].append((source, message))
+
+    def receive(self, endpoint: str, limit: Optional[int] = None) -> List[Tuple[str, object]]:
+        """Drain up to ``limit`` pending ``(source, message)`` pairs for ``endpoint``."""
+        if endpoint not in self._endpoints:
+            raise TransportError(f"unknown endpoint {endpoint!r}")
+        queue = self._endpoints[endpoint]
+        count = len(queue) if limit is None else min(limit, len(queue))
+        return [queue.popleft() for _ in range(count)]
+
+    def pending(self, endpoint: str) -> int:
+        """Number of undelivered messages for ``endpoint``."""
+        if endpoint not in self._endpoints:
+            raise TransportError(f"unknown endpoint {endpoint!r}")
+        return len(self._endpoints[endpoint])
+
+    # -- accounting ----------------------------------------------------------------
+
+    def channel_log(self, source: str, destination: str) -> TransferLog:
+        """Transfer totals for one directed channel."""
+        return self._logs[(source, destination)]
+
+    def bytes_sent(self, source: Optional[str] = None, destination: Optional[str] = None) -> int:
+        """Total bytes (payload + overhead) matching the given endpoints (``None`` = any)."""
+        total = 0
+        for (src, dst), log in self._logs.items():
+            if source is not None and src != source:
+                continue
+            if destination is not None and dst != destination:
+                continue
+            total += log.total_bytes
+        return total
+
+    def total_log(self) -> TransferLog:
+        """Aggregated transfer totals over every channel."""
+        combined = TransferLog()
+        for log in self._logs.values():
+            combined = combined.merged_with(log)
+        return combined
+
+    def per_channel(self) -> Dict[Tuple[str, str], TransferLog]:
+        """Copy of the per-channel accounting table."""
+        return dict(self._logs)
+
+    def reset_accounting(self) -> None:
+        """Clear the byte counters (queues are left untouched)."""
+        self._logs.clear()

@@ -1,0 +1,309 @@
+"""IPv4 and IPv6 prefix features.
+
+Prefixes generalize by shortening the mask one bit at a time, exactly the
+hierarchy used in the paper's Fig. 2 (``1.1.1.20/30`` -> ... -> ``1.1.1.0/24``
+-> ... -> ``1.0.0.0/8`` -> ``0.0.0.0/0``).  The implementation is self
+contained (no dependency on :mod:`ipaddress`) because the Flowtree update
+path constructs and hashes millions of these objects; the representation is
+a plain ``(int, int)`` pair.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple, Union
+
+from repro.features.base import Feature, FeatureError, ParseError, check_int_range, mask_bits
+
+IPV4_WIDTH = 32
+IPV6_WIDTH = 128
+
+_MAX_IPV4 = (1 << IPV4_WIDTH) - 1
+_MAX_IPV6 = (1 << IPV6_WIDTH) - 1
+
+
+def ipv4_to_int(text: str) -> int:
+    """Parse dotted-quad notation into a 32-bit integer."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ParseError(f"invalid IPv4 address {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise ParseError(f"invalid IPv4 address {text!r}")
+        octet = int(part)
+        if octet > 255 or (len(part) > 1 and part[0] == "0"):
+            raise ParseError(f"invalid IPv4 address {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ipv4(value: int) -> str:
+    """Format a 32-bit integer as dotted-quad notation."""
+    check_int_range("IPv4 integer", value, 0, _MAX_IPV4)
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def ipv6_to_int(text: str) -> int:
+    """Parse RFC 4291 textual IPv6 notation (including ``::`` compression)."""
+    if text.count("::") > 1:
+        raise ParseError(f"invalid IPv6 address {text!r}")
+    if "." in text:
+        # Embedded IPv4 in the last 32 bits (e.g. ::ffff:192.0.2.1).
+        head, _, tail = text.rpartition(":")
+        v4 = ipv4_to_int(tail)
+        text = f"{head}:{(v4 >> 16):x}:{(v4 & 0xFFFF):x}"
+    if "::" in text:
+        left_text, right_text = text.split("::")
+        left = [g for g in left_text.split(":") if g]
+        right = [g for g in right_text.split(":") if g]
+        missing = 8 - len(left) - len(right)
+        if missing < 1:
+            raise ParseError(f"invalid IPv6 address {text!r}")
+        groups = left + ["0"] * missing + right
+    else:
+        groups = text.split(":")
+    if len(groups) != 8:
+        raise ParseError(f"invalid IPv6 address {text!r}")
+    value = 0
+    for group in groups:
+        if not group or len(group) > 4:
+            raise ParseError(f"invalid IPv6 address {text!r}")
+        try:
+            part = int(group, 16)
+        except ValueError as exc:
+            raise ParseError(f"invalid IPv6 address {text!r}") from exc
+        value = (value << 16) | part
+    return value
+
+
+def int_to_ipv6(value: int) -> str:
+    """Format a 128-bit integer in canonical (RFC 5952 style) IPv6 notation."""
+    check_int_range("IPv6 integer", value, 0, _MAX_IPV6)
+    groups = [(value >> (112 - 16 * i)) & 0xFFFF for i in range(8)]
+    # Find the longest run of zero groups (length >= 2) for :: compression.
+    best_start, best_len = -1, 0
+    run_start, run_len = -1, 0
+    for i, group in enumerate(groups):
+        if group == 0:
+            if run_start < 0:
+                run_start, run_len = i, 0
+            run_len += 1
+            if run_len > best_len:
+                best_start, best_len = run_start, run_len
+        else:
+            run_start, run_len = -1, 0
+    if best_len < 2:
+        return ":".join(f"{g:x}" for g in groups)
+    head = ":".join(f"{g:x}" for g in groups[:best_start])
+    tail = ":".join(f"{g:x}" for g in groups[best_start + best_len:])
+    return f"{head}::{tail}"
+
+
+class _PrefixBase(Feature):
+    """Shared implementation for IPv4 and IPv6 prefixes."""
+
+    __slots__ = ("_network", "_length")
+
+    #: Address width in bits; overridden by subclasses.
+    width: int = 0
+
+    def __init__(self, network: Union[int, str], length: int) -> None:
+        if isinstance(network, str):
+            network = self._parse_address(network)
+        check_int_range("network", network, 0, (1 << self.width) - 1)
+        check_int_range("prefix length", length, 0, self.width)
+        masked = mask_bits(network, length, self.width)
+        if masked != network:
+            raise FeatureError(
+                f"{self._format_address(network)}/{length} has host bits set; "
+                f"expected network {self._format_address(masked)}"
+            )
+        self._network = network
+        self._length = length
+
+    # -- subclass hooks ----------------------------------------------------
+
+    @staticmethod
+    def _parse_address(text: str) -> int:
+        raise NotImplementedError
+
+    @staticmethod
+    def _format_address(value: int) -> str:
+        raise NotImplementedError
+
+    @classmethod
+    def _fast(cls, network: int, length: int) -> "_PrefixBase":
+        """Unvalidated constructor for hot paths (callers guarantee alignment)."""
+        instance = object.__new__(cls)
+        instance._network = network
+        instance._length = length
+        return instance
+
+    # -- properties ---------------------------------------------------------
+
+    @property
+    def network(self) -> int:
+        """Network address as an integer (host bits are zero)."""
+        return self._network
+
+    @property
+    def length(self) -> int:
+        """Prefix length in bits."""
+        return self._length
+
+    @property
+    def is_root(self) -> bool:
+        return self._length == 0
+
+    @property
+    def is_host(self) -> bool:
+        """``True`` for a fully specific (single address) prefix."""
+        return self._length == self.width
+
+    @property
+    def specificity(self) -> int:
+        return self._length
+
+    @property
+    def cardinality(self) -> int:
+        return 1 << (self.width - self._length)
+
+    @property
+    def first_address(self) -> int:
+        """Lowest address covered by the prefix."""
+        return self._network
+
+    @property
+    def last_address(self) -> int:
+        """Highest address covered by the prefix."""
+        return self._network | ((1 << (self.width - self._length)) - 1)
+
+    # -- hierarchy ----------------------------------------------------------
+
+    def generalize(self, steps: int = 1) -> "_PrefixBase":
+        """Shorten the prefix by ``steps`` bits (clamped at /0)."""
+        if self._length == 0:
+            return self
+        new_length = max(0, self._length - steps)
+        return type(self)._fast(mask_bits(self._network, new_length, self.width), new_length)
+
+    def generalize_to(self, new_length: int) -> "_PrefixBase":
+        """Shorten the prefix to exactly ``new_length`` bits (must not specialize)."""
+        if new_length > self._length:
+            raise FeatureError(
+                f"cannot specialize /{self._length} prefix to /{new_length}"
+            )
+        if new_length == self._length:
+            return self
+        return type(self)._fast(mask_bits(self._network, new_length, self.width), new_length)
+
+    def contains(self, other: Feature) -> bool:
+        if not isinstance(other, type(self)):
+            return False
+        if other._length < self._length:
+            return False
+        return mask_bits(other._network, self._length, self.width) == self._network
+
+    def contains_address(self, address: int) -> bool:
+        """Membership test for a bare integer address."""
+        return mask_bits(address, self._length, self.width) == self._network
+
+    def child(self, bit: int) -> "_PrefixBase":
+        """Return the left (``bit=0``) or right (``bit=1``) one-bit-longer child."""
+        if self._length >= self.width:
+            raise FeatureError("cannot specialize a host prefix")
+        check_int_range("bit", bit, 0, 1)
+        new_length = self._length + 1
+        network = self._network | (bit << (self.width - new_length))
+        return type(self)(network, new_length)
+
+    def subnets(self, new_length: int) -> Iterable["_PrefixBase"]:
+        """Yield all subnets of the given (longer) prefix length."""
+        check_int_range("new prefix length", new_length, self._length, self.width)
+        step = 1 << (self.width - new_length)
+        for network in range(self._network, self.last_address + 1, step):
+            yield type(self)(network, new_length)
+
+    # -- wire / dunder ------------------------------------------------------
+
+    def to_wire(self) -> str:
+        return f"{self._format_address(self._network)}/{self._length}"
+
+    @classmethod
+    def from_wire(cls, text: str) -> "_PrefixBase":
+        return parse_prefix(text, cls)
+
+    @classmethod
+    def root(cls) -> "_PrefixBase":
+        return cls(0, 0)
+
+    @classmethod
+    def host(cls, address: Union[int, str]) -> "_PrefixBase":
+        """Build the fully specific prefix for a single address."""
+        if isinstance(address, str):
+            address = cls._parse_address(address)
+        check_int_range("address", address, 0, (1 << cls.width) - 1)
+        return cls._fast(address, cls.width)
+
+    def as_tuple(self) -> Tuple[int, int]:
+        """``(network, length)`` pair; the canonical compact representation."""
+        return self._network, self._length
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, type(self))
+            and self._network == other._network
+            and self._length == other._length
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self._network, self._length))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.to_wire()!r})"
+
+    def __str__(self) -> str:
+        return self.to_wire()
+
+
+class IPv4Prefix(_PrefixBase):
+    """An IPv4 network prefix such as ``1.1.1.0/24``."""
+
+    __slots__ = ()
+    kind = "ip4"
+    width = IPV4_WIDTH
+
+    _parse_address = staticmethod(ipv4_to_int)
+    _format_address = staticmethod(int_to_ipv4)
+
+
+class IPv6Prefix(_PrefixBase):
+    """An IPv6 network prefix such as ``2001:db8::/32``."""
+
+    __slots__ = ()
+    kind = "ip6"
+    width = IPV6_WIDTH
+
+    _parse_address = staticmethod(ipv6_to_int)
+    _format_address = staticmethod(int_to_ipv6)
+
+
+def parse_prefix(text: str, cls: type = None) -> _PrefixBase:
+    """Parse ``"a.b.c.d/len"`` / ``"addr"`` into a prefix feature.
+
+    Without an explicit ``cls`` the address family is inferred from the
+    presence of ``":"``.  A bare address is treated as a host prefix.
+    """
+    text = text.strip()
+    if cls is None:
+        cls = IPv6Prefix if ":" in text else IPv4Prefix
+    if text in ("*", ""):
+        return cls.root()
+    if "/" in text:
+        address_text, _, length_text = text.partition("/")
+        if not length_text.isdigit():
+            raise ParseError(f"invalid prefix length in {text!r}")
+        length = int(length_text)
+        address = cls._parse_address(address_text)
+        return cls(mask_bits(address, length, cls.width), length)
+    return cls.host(text)

@@ -1,0 +1,210 @@
+"""Port range feature.
+
+Transport ports generalize through power-of-two aligned ranges — a binary
+hierarchy over the 16-bit port space, mirroring how prefixes generalize over
+the address space.  A single port is a range of width 1 (specificity 16); the
+root is ``0-65535`` (specificity 0).  The paper's Fig. 2b uses exactly this
+kind of hierarchy (``1500`` generalizing into ``1024-1536``-style ranges).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from repro.features.base import Feature, FeatureError, ParseError, check_int_range, mask_bits
+
+PORT_BITS = 16
+MAX_PORT = (1 << PORT_BITS) - 1
+
+
+class PortRange(Feature):
+    """A power-of-two aligned range of transport ports.
+
+    The range is represented by its base port and the number of prefix bits
+    fixed (``prefix_len``); a range therefore covers ``2**(16 - prefix_len)``
+    ports.  ``PortRange.single(80)`` is the fully specific value; successive
+    :meth:`generalize` calls double the width until the full port space is
+    reached.
+    """
+
+    __slots__ = ("_base", "_prefix_len")
+
+    kind = "port"
+
+    def __init__(self, base: int, prefix_len: int = PORT_BITS) -> None:
+        check_int_range("port", base, 0, MAX_PORT)
+        check_int_range("port prefix length", prefix_len, 0, PORT_BITS)
+        masked = mask_bits(base, prefix_len, PORT_BITS)
+        if masked != base:
+            raise FeatureError(
+                f"port range base {base} is not aligned to prefix length {prefix_len}"
+            )
+        self._base = base
+        self._prefix_len = prefix_len
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def _fast(cls, base: int, prefix_len: int) -> "PortRange":
+        """Unvalidated constructor for hot paths (callers guarantee alignment)."""
+        instance = object.__new__(cls)
+        instance._base = base
+        instance._prefix_len = prefix_len
+        return instance
+
+    @classmethod
+    def single(cls, port: int) -> "PortRange":
+        """The fully specific range covering exactly one port."""
+        check_int_range("port", port, 0, MAX_PORT)
+        return cls._fast(port, PORT_BITS)
+
+    @classmethod
+    def root(cls) -> "PortRange":
+        return cls(0, 0)
+
+    @classmethod
+    def covering(cls, low: int, high: int) -> "PortRange":
+        """Smallest aligned range that covers ``[low, high]``."""
+        check_int_range("low port", low, 0, MAX_PORT)
+        check_int_range("high port", high, low, MAX_PORT)
+        prefix_len = PORT_BITS
+        while prefix_len > 0:
+            base = mask_bits(low, prefix_len, PORT_BITS)
+            if base + (1 << (PORT_BITS - prefix_len)) - 1 >= high:
+                return cls(base, prefix_len)
+            prefix_len -= 1
+        return cls.root()
+
+    # -- properties ---------------------------------------------------------
+
+    @property
+    def base(self) -> int:
+        """Lowest port in the range."""
+        return self._base
+
+    @property
+    def prefix_len(self) -> int:
+        """Number of fixed high-order bits."""
+        return self._prefix_len
+
+    @property
+    def low(self) -> int:
+        """Lowest port covered (alias of :attr:`base`)."""
+        return self._base
+
+    @property
+    def high(self) -> int:
+        """Highest port covered."""
+        return self._base + (1 << (PORT_BITS - self._prefix_len)) - 1
+
+    @property
+    def is_root(self) -> bool:
+        return self._prefix_len == 0
+
+    @property
+    def is_single(self) -> bool:
+        """``True`` when the range covers exactly one port."""
+        return self._prefix_len == PORT_BITS
+
+    @property
+    def specificity(self) -> int:
+        return self._prefix_len
+
+    @property
+    def cardinality(self) -> int:
+        return 1 << (PORT_BITS - self._prefix_len)
+
+    # -- hierarchy ----------------------------------------------------------
+
+    def generalize(self, steps: int = 1) -> "PortRange":
+        if self._prefix_len == 0:
+            return self
+        new_len = max(0, self._prefix_len - steps)
+        return PortRange._fast(mask_bits(self._base, new_len, PORT_BITS), new_len)
+
+    def generalize_to(self, new_len: int) -> "PortRange":
+        """Widen the range to exactly ``new_len`` fixed bits (must not specialize)."""
+        if new_len > self._prefix_len:
+            raise FeatureError(
+                f"cannot specialize port range /{self._prefix_len} to /{new_len}"
+            )
+        if new_len == self._prefix_len:
+            return self
+        return PortRange._fast(mask_bits(self._base, new_len, PORT_BITS), new_len)
+
+    def contains(self, other: Feature) -> bool:
+        if not isinstance(other, PortRange):
+            return False
+        if other._prefix_len < self._prefix_len:
+            return False
+        return mask_bits(other._base, self._prefix_len, PORT_BITS) == self._base
+
+    def contains_port(self, port: int) -> bool:
+        """Membership test for a bare integer port."""
+        return mask_bits(port, self._prefix_len, PORT_BITS) == self._base
+
+    # -- wire / dunder ------------------------------------------------------
+
+    def to_wire(self) -> str:
+        if self.is_single:
+            return str(self._base)
+        return f"{self.low}-{self.high}"
+
+    @classmethod
+    def from_wire(cls, text: str) -> "PortRange":
+        text = text.strip()
+        if text in ("*", "0-65535"):
+            return cls.root()
+        if "-" in text:
+            low_text, _, high_text = text.partition("-")
+            if not (low_text.isdigit() and high_text.isdigit()):
+                raise ParseError(f"invalid port range {text!r}")
+            low, high = int(low_text), int(high_text)
+            result = cls.covering(low, high)
+            if result.low != low or result.high != high:
+                raise ParseError(
+                    f"port range {text!r} is not power-of-two aligned "
+                    f"(closest aligned range is {result.to_wire()})"
+                )
+            return result
+        if not text.isdigit():
+            raise ParseError(f"invalid port {text!r}")
+        return cls.single(int(text))
+
+    def as_tuple(self) -> Tuple[int, int]:
+        """``(base, prefix_len)`` pair; the canonical compact representation."""
+        return self._base, self._prefix_len
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PortRange)
+            and self._base == other._base
+            and self._prefix_len == other._prefix_len
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self._base, self._prefix_len))
+
+    def __repr__(self) -> str:
+        return f"PortRange({self.to_wire()!r})"
+
+    def __str__(self) -> str:
+        return self.to_wire()
+
+
+def well_known_service(port: Union[int, PortRange]) -> str:
+    """Best-effort service name for reports (``80`` -> ``"http"``)."""
+    services = {
+        20: "ftp-data", 21: "ftp", 22: "ssh", 23: "telnet", 25: "smtp",
+        53: "dns", 67: "dhcp", 80: "http", 110: "pop3", 123: "ntp",
+        143: "imap", 161: "snmp", 179: "bgp", 443: "https", 445: "smb",
+        465: "smtps", 514: "syslog", 587: "submission", 993: "imaps",
+        995: "pop3s", 1194: "openvpn", 1433: "mssql", 1521: "oracle",
+        3306: "mysql", 3389: "rdp", 5060: "sip", 5432: "postgres",
+        6379: "redis", 8080: "http-alt", 8443: "https-alt", 9200: "elasticsearch",
+    }
+    if isinstance(port, PortRange):
+        if not port.is_single:
+            return port.to_wire()
+        port = port.base
+    return services.get(port, str(port))

@@ -1,0 +1,141 @@
+"""IP protocol feature.
+
+The protocol dimension has a flat, two-level hierarchy: a concrete protocol
+number (TCP = 6, UDP = 17, ICMP = 1, ...) generalizes directly to the
+wildcard.  The feature still implements the full :class:`~repro.features.base.Feature`
+protocol so the Flowtree core can treat it uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.features.base import Feature, ParseError, check_int_range
+
+#: IANA protocol numbers we name in reports; anything else prints numerically.
+PROTOCOL_NAMES = {
+    1: "icmp",
+    2: "igmp",
+    6: "tcp",
+    17: "udp",
+    41: "ipv6",
+    47: "gre",
+    50: "esp",
+    51: "ah",
+    58: "icmpv6",
+    89: "ospf",
+    132: "sctp",
+}
+
+_NAME_TO_NUMBER = {name: number for number, name in PROTOCOL_NAMES.items()}
+
+MAX_PROTOCOL = 255
+
+
+class Protocol(Feature):
+    """An IP protocol number or the wildcard.
+
+    ``Protocol(6)`` is TCP; ``Protocol.root()`` (``Protocol(None)``) matches
+    any protocol.  The hierarchy has exactly two levels.
+    """
+
+    __slots__ = ("_number",)
+
+    kind = "proto"
+
+    def __init__(self, number: Optional[Union[int, str]] = None) -> None:
+        if isinstance(number, str):
+            number = _parse_protocol_text(number)
+        if number is not None:
+            check_int_range("protocol number", number, 0, MAX_PROTOCOL)
+        self._number = number
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def root(cls) -> "Protocol":
+        return cls(None)
+
+    @classmethod
+    def tcp(cls) -> "Protocol":
+        return cls(6)
+
+    @classmethod
+    def udp(cls) -> "Protocol":
+        return cls(17)
+
+    @classmethod
+    def icmp(cls) -> "Protocol":
+        return cls(1)
+
+    # -- properties ---------------------------------------------------------
+
+    @property
+    def number(self) -> Optional[int]:
+        """The protocol number, or ``None`` for the wildcard."""
+        return self._number
+
+    @property
+    def name(self) -> str:
+        """Human-readable name (``"tcp"``, ``"udp"``, ``"*"``, ``"proto-123"``)."""
+        if self._number is None:
+            return "*"
+        return PROTOCOL_NAMES.get(self._number, f"proto-{self._number}")
+
+    @property
+    def is_root(self) -> bool:
+        return self._number is None
+
+    @property
+    def specificity(self) -> int:
+        return 0 if self._number is None else 1
+
+    @property
+    def cardinality(self) -> int:
+        return (MAX_PROTOCOL + 1) if self._number is None else 1
+
+    # -- hierarchy ----------------------------------------------------------
+
+    def generalize(self) -> "Protocol":
+        return Protocol(None)
+
+    def contains(self, other: Feature) -> bool:
+        if not isinstance(other, Protocol):
+            return False
+        return self._number is None or self._number == other._number
+
+    # -- wire / dunder ------------------------------------------------------
+
+    def to_wire(self) -> str:
+        return "*" if self._number is None else str(self._number)
+
+    @classmethod
+    def from_wire(cls, text: str) -> "Protocol":
+        text = text.strip()
+        if text in ("*", ""):
+            return cls.root()
+        return cls(_parse_protocol_text(text))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Protocol) and self._number == other._number
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self._number))
+
+    def __repr__(self) -> str:
+        return f"Protocol({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _parse_protocol_text(text: str) -> int:
+    """Parse a protocol given as a name (``"tcp"``) or a number (``"6"``)."""
+    text = text.strip().lower()
+    if text.isdigit():
+        number = int(text)
+        check_int_range("protocol number", number, 0, MAX_PROTOCOL)
+        return number
+    if text in _NAME_TO_NUMBER:
+        return _NAME_TO_NUMBER[text]
+    raise ParseError(f"unknown protocol {text!r}")

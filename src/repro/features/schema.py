@@ -1,0 +1,173 @@
+"""Flow schemas: which features make up a flow key.
+
+The paper works with several flow types — 5-feature flows (protocol,
+src/dst IP, src/dst port), 4-feature flows (Fig. 2b: src/dst prefix and
+src/dst port range) and 2-/1-feature flows (src/dst prefixes only).  A
+:class:`FlowSchema` is an ordered list of field specifications; it knows how
+to turn a raw flow record (integers straight out of a NetFlow/IPFIX/pcap
+decoder) into a tuple of fully specific feature values, and how to build the
+all-wildcard root key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+from repro.features.base import Feature, FeatureError
+from repro.features.ipaddr import IPv4Prefix
+from repro.features.ports import PortRange
+from repro.features.protocol import Protocol
+
+# Extractors take a flow record (duck-typed: ``src_ip``/``dst_ip`` are ints,
+# ``src_port``/``dst_port`` are ints, ``protocol`` is an int) and return the
+# fully specific feature value for one dimension.
+_EXTRACTORS: Dict[str, Callable[[object], Feature]] = {
+    "src_ip": lambda record: IPv4Prefix.host(record.src_ip),
+    "dst_ip": lambda record: IPv4Prefix.host(record.dst_ip),
+    "src_port": lambda record: PortRange.single(record.src_port),
+    "dst_port": lambda record: PortRange.single(record.dst_port),
+    "protocol": lambda record: Protocol(record.protocol),
+}
+
+_ROOTS: Dict[str, Callable[[], Feature]] = {
+    "src_ip": IPv4Prefix.root,
+    "dst_ip": IPv4Prefix.root,
+    "src_port": PortRange.root,
+    "dst_port": PortRange.root,
+    "protocol": Protocol.root,
+}
+
+_FEATURE_TYPES: Dict[str, type] = {
+    "src_ip": IPv4Prefix,
+    "dst_ip": IPv4Prefix,
+    "src_port": PortRange,
+    "dst_port": PortRange,
+    "protocol": Protocol,
+}
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One dimension of a flow schema.
+
+    Attributes:
+        name: canonical field name (``"src_ip"``, ``"dst_port"``, ...).
+        feature_type: the :class:`~repro.features.base.Feature` subclass
+            values of this field belong to.
+    """
+
+    name: str
+    feature_type: type
+
+    def extract(self, record: object) -> Feature:
+        """Fully specific feature value for this field of ``record``."""
+        return _EXTRACTORS[self.name](record)
+
+    def root(self) -> Feature:
+        """Wildcard value for this field."""
+        return _ROOTS[self.name]()
+
+
+class FlowSchema:
+    """An ordered collection of flow-key dimensions.
+
+    Schemas are small immutable objects shared by a Flowtree, its
+    serializer and its query layer; two Flowtrees can only be merged or
+    diffed if their schemas are equal.
+    """
+
+    def __init__(self, name: str, field_names: Sequence[str]) -> None:
+        if not field_names:
+            raise FeatureError("a flow schema needs at least one field")
+        unknown = [field for field in field_names if field not in _EXTRACTORS]
+        if unknown:
+            raise FeatureError(
+                f"unknown schema fields {unknown}; known fields: {sorted(_EXTRACTORS)}"
+            )
+        if len(set(field_names)) != len(field_names):
+            raise FeatureError(f"duplicate fields in schema: {list(field_names)}")
+        self._name = name
+        self._fields: Tuple[FieldSpec, ...] = tuple(
+            FieldSpec(field, _FEATURE_TYPES[field]) for field in field_names
+        )
+
+    # -- properties ---------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Human-readable schema name (used in serialized summaries)."""
+        return self._name
+
+    @property
+    def fields(self) -> Tuple[FieldSpec, ...]:
+        """The ordered field specifications."""
+        return self._fields
+
+    @property
+    def field_names(self) -> Tuple[str, ...]:
+        """Just the canonical field names, in order."""
+        return tuple(spec.name for spec in self._fields)
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    # -- key construction ---------------------------------------------------
+
+    def features_of(self, record: object) -> Tuple[Feature, ...]:
+        """Fully specific feature tuple for a flow/packet record."""
+        return tuple(spec.extract(record) for spec in self._fields)
+
+    def root_features(self) -> Tuple[Feature, ...]:
+        """All-wildcard feature tuple (the Flowtree root)."""
+        return tuple(spec.root() for spec in self._fields)
+
+    def feature_from_wire(self, index: int, text: str) -> Feature:
+        """Parse the wire form of the ``index``-th dimension."""
+        return self._fields[index].feature_type.from_wire(text)
+
+    # -- dunder ---------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FlowSchema)
+            and self.field_names == other.field_names
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.field_names)
+
+    def __repr__(self) -> str:
+        return f"FlowSchema({self._name!r}, fields={list(self.field_names)})"
+
+
+#: Single-feature schema used in the paper's Fig. 2a (source prefixes only).
+SCHEMA_1F_SRC = FlowSchema("1f-src", ["src_ip"])
+
+#: Two-feature schema (source and destination prefixes).
+SCHEMA_2F_SRC_DST = FlowSchema("2f-src-dst", ["src_ip", "dst_ip"])
+
+#: Four-feature schema used in Fig. 2b and the Fig. 3 accuracy evaluation.
+SCHEMA_4F = FlowSchema("4f", ["src_ip", "dst_ip", "src_port", "dst_port"])
+
+#: Full five-feature flow schema (protocol, src/dst IP, src/dst port).
+SCHEMA_5F = FlowSchema("5f", ["protocol", "src_ip", "dst_ip", "src_port", "dst_port"])
+
+_BUILTIN_SCHEMAS = {
+    schema.name: schema
+    for schema in (SCHEMA_1F_SRC, SCHEMA_2F_SRC_DST, SCHEMA_4F, SCHEMA_5F)
+}
+
+
+def schema_by_name(name: str) -> FlowSchema:
+    """Look up one of the built-in schemas by name.
+
+    Raises :class:`~repro.features.base.FeatureError` for unknown names so
+    configuration errors fail loudly at construction time.
+    """
+    try:
+        return _BUILTIN_SCHEMAS[name]
+    except KeyError:
+        raise FeatureError(
+            f"unknown schema {name!r}; built-in schemas: {sorted(_BUILTIN_SCHEMAS)}"
+        ) from None

@@ -1,0 +1,117 @@
+"""Generic categorical feature with a two-level (value / wildcard) hierarchy.
+
+This is the escape hatch for user-defined dimensions that have no natural
+nesting structure: monitor location, customer id, interface name, DSCP
+class, country code, ...  The Flowtree core only needs the
+:class:`~repro.features.base.Feature` interface, so any such dimension can
+participate in a flow schema through :class:`CategoricalValue`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.features.base import Feature, FeatureError
+
+
+class CategoricalValue(Feature):
+    """A categorical value (string label) or the wildcard.
+
+    ``CategoricalValue("site-A", domain="site")`` generalizes directly to
+    ``CategoricalValue(None, domain="site")``.  The ``domain`` keeps values
+    from unrelated dimensions (e.g. sites vs. customers) from comparing
+    equal or containing each other.
+    """
+
+    __slots__ = ("_value", "_domain", "_domain_size")
+
+    kind = "cat"
+
+    def __init__(
+        self,
+        value: Optional[str],
+        domain: str = "label",
+        domain_size: int = 1024,
+    ) -> None:
+        if value is not None and not isinstance(value, str):
+            raise FeatureError(f"categorical value must be a string or None, got {value!r}")
+        if not domain or not isinstance(domain, str):
+            raise FeatureError(f"domain must be a non-empty string, got {domain!r}")
+        if domain_size < 1:
+            raise FeatureError(f"domain_size must be positive, got {domain_size}")
+        if value is not None and "|" in value:
+            raise FeatureError("categorical values may not contain '|' (reserved for wire format)")
+        if "|" in domain:
+            raise FeatureError("domains may not contain '|' (reserved for wire format)")
+        self._value = value
+        self._domain = domain
+        self._domain_size = domain_size
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def root(cls, domain: str = "label", domain_size: int = 1024) -> "CategoricalValue":
+        return cls(None, domain=domain, domain_size=domain_size)
+
+    # -- properties ---------------------------------------------------------
+
+    @property
+    def value(self) -> Optional[str]:
+        """The label, or ``None`` for the wildcard."""
+        return self._value
+
+    @property
+    def domain(self) -> str:
+        """Name of the dimension this value belongs to."""
+        return self._domain
+
+    @property
+    def is_root(self) -> bool:
+        return self._value is None
+
+    @property
+    def specificity(self) -> int:
+        return 0 if self._value is None else 1
+
+    @property
+    def cardinality(self) -> int:
+        return self._domain_size if self._value is None else 1
+
+    # -- hierarchy ----------------------------------------------------------
+
+    def generalize(self) -> "CategoricalValue":
+        return CategoricalValue(None, domain=self._domain, domain_size=self._domain_size)
+
+    def contains(self, other: Feature) -> bool:
+        if not isinstance(other, CategoricalValue) or other._domain != self._domain:
+            return False
+        return self._value is None or self._value == other._value
+
+    # -- wire / dunder ------------------------------------------------------
+
+    def to_wire(self) -> str:
+        value_text = "*" if self._value is None else self._value
+        return f"{self._domain}|{self._domain_size}|{value_text}"
+
+    @classmethod
+    def from_wire(cls, text: str) -> "CategoricalValue":
+        domain, size_text, value_text = text.split("|", 2)
+        value = None if value_text == "*" else value_text
+        return cls(value, domain=domain, domain_size=int(size_text))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, CategoricalValue)
+            and self._domain == other._domain
+            and self._value == other._value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self._domain, self._value))
+
+    def __repr__(self) -> str:
+        label = "*" if self._value is None else self._value
+        return f"CategoricalValue({label!r}, domain={self._domain!r})"
+
+    def __str__(self) -> str:
+        return "*" if self._value is None else self._value

@@ -1,0 +1,203 @@
+"""Minimal pcap reader/writer for IPv4 TCP/UDP/ICMP packets.
+
+The paper's accuracy evaluation runs over packet captures (CAIDA
+Equinix-Chicago, MAWI).  This module lets the library consume and produce
+the classic libpcap file format so the same code path — parse packets,
+build flow keys, update the Flowtree — is exercised even though the traces
+themselves are synthetic.  Only what the Flowtree needs is implemented:
+Ethernet + IPv4 + TCP/UDP headers (other link types and protocols decode to
+records with zero ports).
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator, Union
+
+from repro.core.errors import SerializationError
+from repro.flows.records import PacketRecord
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_MAGIC_SWAPPED = 0xD4C3B2A1
+GLOBAL_HEADER_FORMAT = "IHHiIII"
+GLOBAL_HEADER_SIZE = struct.calcsize("=" + GLOBAL_HEADER_FORMAT)
+PACKET_HEADER_FORMAT = "IIII"
+PACKET_HEADER_SIZE = struct.calcsize("=" + PACKET_HEADER_FORMAT)
+LINKTYPE_ETHERNET = 1
+ETHERTYPE_IPV4 = 0x0800
+ETHERNET_HEADER_SIZE = 14
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+PathOrFile = Union[str, Path, BinaryIO]
+
+
+def _open(path_or_file: PathOrFile, mode: str) -> BinaryIO:
+    if hasattr(path_or_file, "read") or hasattr(path_or_file, "write"):
+        return path_or_file  # already a file object; caller owns its lifetime
+    return open(path_or_file, mode)
+
+
+def write_pcap(path_or_file: PathOrFile, packets: Iterable[PacketRecord]) -> int:
+    """Write packets to a pcap file; returns the number of packets written.
+
+    Packets are materialized as Ethernet/IPv4/TCP-or-UDP frames with
+    payloads padded to the record's byte count (capped by a 256-byte snap
+    length, as typical captures truncate payloads).
+    """
+    stream = _open(path_or_file, "wb")
+    close = stream is not path_or_file
+    count = 0
+    try:
+        stream.write(
+            struct.pack(
+                "=" + GLOBAL_HEADER_FORMAT,
+                PCAP_MAGIC,
+                2,
+                4,
+                0,
+                0,
+                65535,
+                LINKTYPE_ETHERNET,
+            )
+        )
+        for packet in packets:
+            frame = _build_frame(packet)
+            seconds = int(packet.timestamp)
+            microseconds = int((packet.timestamp - seconds) * 1e6)
+            stream.write(
+                struct.pack(
+                    "=" + PACKET_HEADER_FORMAT,
+                    seconds,
+                    microseconds,
+                    len(frame),
+                    max(len(frame), packet.bytes + ETHERNET_HEADER_SIZE),
+                )
+            )
+            stream.write(frame)
+            count += 1
+    finally:
+        if close:
+            stream.close()
+    return count
+
+
+def read_pcap(path_or_file: PathOrFile) -> Iterator[PacketRecord]:
+    """Read packets from a pcap file, yielding :class:`PacketRecord` objects.
+
+    Non-IPv4 frames are skipped; IPv4 packets that are neither TCP nor UDP
+    yield records with zero ports (the protocol field still distinguishes
+    them, matching how flow exporters treat e.g. ICMP).
+    """
+    stream = _open(path_or_file, "rb")
+    close = stream is not path_or_file
+    try:
+        header = stream.read(GLOBAL_HEADER_SIZE)
+        if len(header) < GLOBAL_HEADER_SIZE:
+            raise SerializationError("file too short for a pcap global header")
+        magic = struct.unpack("=I", header[:4])[0]
+        if magic == PCAP_MAGIC:
+            endian = "="
+        elif magic == PCAP_MAGIC_SWAPPED:
+            endian = ">" if struct.pack("=I", 1) == struct.pack("<I", 1) else "<"
+        else:
+            raise SerializationError(f"not a pcap file (magic 0x{magic:08x})")
+        fields = struct.unpack(endian + GLOBAL_HEADER_FORMAT, header)
+        link_type = fields[6]
+        if link_type != LINKTYPE_ETHERNET:
+            raise SerializationError(f"unsupported pcap link type {link_type}")
+        while True:
+            packet_header = stream.read(PACKET_HEADER_SIZE)
+            if not packet_header:
+                return
+            if len(packet_header) < PACKET_HEADER_SIZE:
+                raise SerializationError("truncated pcap packet header")
+            seconds, microseconds, captured, original = struct.unpack(
+                endian + PACKET_HEADER_FORMAT, packet_header
+            )
+            frame = stream.read(captured)
+            if len(frame) < captured:
+                raise SerializationError("truncated pcap packet data")
+            record = _parse_frame(frame, seconds + microseconds / 1e6, original)
+            if record is not None:
+                yield record
+    finally:
+        if close:
+            stream.close()
+
+
+# -- frame construction / parsing -------------------------------------------------
+
+
+def _build_frame(packet: PacketRecord) -> bytes:
+    """Ethernet/IPv4/L4 frame for a packet record (payload truncated at 256 bytes)."""
+    if packet.protocol == PROTO_TCP:
+        l4 = struct.pack(
+            "!HHIIBBHHH",
+            packet.src_port,
+            packet.dst_port,
+            0,
+            0,
+            5 << 4,
+            packet.tcp_flags & 0xFF,
+            65535,
+            0,
+            0,
+        )
+    elif packet.protocol == PROTO_UDP:
+        l4 = struct.pack("!HHHH", packet.src_port, packet.dst_port, 8, 0)
+    else:
+        l4 = b""
+    payload_length = max(0, min(packet.bytes - 20 - len(l4), 256))
+    payload = b"\x00" * payload_length
+    total_length = 20 + len(l4) + payload_length
+    ip_header = struct.pack(
+        "!BBHHHBBHII",
+        (4 << 4) | 5,
+        0,
+        total_length,
+        0,
+        0,
+        64,
+        packet.protocol & 0xFF,
+        0,
+        packet.src_ip,
+        packet.dst_ip,
+    )
+    ethernet = b"\x02" * 6 + b"\x04" * 6 + struct.pack("!H", ETHERTYPE_IPV4)
+    return ethernet + ip_header + l4 + payload
+
+
+def _parse_frame(frame: bytes, timestamp: float, original_length: int) -> PacketRecord:
+    """Parse an Ethernet frame into a packet record (or ``None`` for non-IPv4)."""
+    if len(frame) < ETHERNET_HEADER_SIZE + 20:
+        return None
+    ethertype = struct.unpack("!H", frame[12:14])[0]
+    if ethertype != ETHERTYPE_IPV4:
+        return None
+    ip_offset = ETHERNET_HEADER_SIZE
+    version_ihl = frame[ip_offset]
+    if version_ihl >> 4 != 4:
+        return None
+    ihl = (version_ihl & 0x0F) * 4
+    total_length, = struct.unpack("!H", frame[ip_offset + 2: ip_offset + 4])
+    protocol = frame[ip_offset + 9]
+    src_ip, dst_ip = struct.unpack("!II", frame[ip_offset + 12: ip_offset + 20])
+    src_port = dst_port = 0
+    tcp_flags = 0
+    l4_offset = ip_offset + ihl
+    if protocol in (PROTO_TCP, PROTO_UDP) and len(frame) >= l4_offset + 4:
+        src_port, dst_port = struct.unpack("!HH", frame[l4_offset: l4_offset + 4])
+        if protocol == PROTO_TCP and len(frame) >= l4_offset + 14:
+            tcp_flags = frame[l4_offset + 13]
+    return PacketRecord(
+        timestamp=timestamp,
+        src_ip=src_ip,
+        dst_ip=dst_ip,
+        src_port=src_port,
+        dst_port=dst_port,
+        protocol=protocol,
+        bytes=max(total_length, original_length - ETHERNET_HEADER_SIZE),
+        tcp_flags=tcp_flags,
+    )

@@ -1,0 +1,272 @@
+"""Flow and packet records.
+
+These are the plain data objects every ingestion path (NetFlow, IPFIX,
+pcap, CSV, synthetic traces) produces and every consumer (Flowtree,
+baselines, analysis) accepts.  The Flowtree only relies on duck typing —
+``src_ip``/``dst_ip`` (integers), ``src_port``/``dst_port`` (integers),
+``protocol`` (integer), plus optional ``packets``/``bytes`` — so records
+from user code work too; these classes are the reference implementation
+with validation, conversion helpers and a stable dictionary form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from repro.features.base import FeatureError, check_int_range
+from repro.features.ipaddr import int_to_ipv4, ipv4_to_int
+
+FiveTuple = Tuple[int, int, int, int, int]
+
+
+@dataclass
+class PacketRecord:
+    """One observed packet.
+
+    ``src_ip``/``dst_ip`` are IPv4 addresses as integers, ports are plain
+    integers, ``protocol`` is the IANA protocol number and ``bytes`` the IP
+    length of the packet.  ``packets`` is always 1 for a packet record and
+    exists so packets and flows can be consumed interchangeably.
+    """
+
+    __slots__ = (
+        "timestamp",
+        "src_ip",
+        "dst_ip",
+        "src_port",
+        "dst_port",
+        "protocol",
+        "bytes",
+        "packets",
+        "tcp_flags",
+    )
+
+    timestamp: float
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    protocol: int
+    bytes: int
+    packets: int
+    tcp_flags: int
+
+    def __init__(
+        self,
+        timestamp: float,
+        src_ip: int,
+        dst_ip: int,
+        src_port: int,
+        dst_port: int,
+        protocol: int = 6,
+        bytes: int = 0,
+        tcp_flags: int = 0,
+    ) -> None:
+        self.timestamp = float(timestamp)
+        self.src_ip = src_ip
+        self.dst_ip = dst_ip
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.protocol = protocol
+        self.bytes = bytes
+        self.packets = 1
+        self.tcp_flags = tcp_flags
+
+    @property
+    def five_tuple(self) -> FiveTuple:
+        """``(protocol, src_ip, dst_ip, src_port, dst_port)``."""
+        return (self.protocol, self.src_ip, self.dst_ip, self.src_port, self.dst_port)
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.features.base.FeatureError` on out-of-range fields."""
+        check_int_range("src_ip", self.src_ip, 0, (1 << 32) - 1)
+        check_int_range("dst_ip", self.dst_ip, 0, (1 << 32) - 1)
+        check_int_range("src_port", self.src_port, 0, 65535)
+        check_int_range("dst_port", self.dst_port, 0, 65535)
+        check_int_range("protocol", self.protocol, 0, 255)
+        check_int_range("bytes", self.bytes, 0, 1 << 32)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Stable dictionary form (dotted-quad addresses) for CSV/JSON export."""
+        return {
+            "timestamp": self.timestamp,
+            "src_ip": int_to_ipv4(self.src_ip),
+            "dst_ip": int_to_ipv4(self.dst_ip),
+            "src_port": self.src_port,
+            "dst_port": self.dst_port,
+            "protocol": self.protocol,
+            "bytes": self.bytes,
+            "packets": self.packets,
+        }
+
+
+@dataclass
+class FlowRecord:
+    """One exported flow (NetFlow/IPFIX style aggregate of related packets)."""
+
+    __slots__ = (
+        "start_time",
+        "end_time",
+        "src_ip",
+        "dst_ip",
+        "src_port",
+        "dst_port",
+        "protocol",
+        "packets",
+        "bytes",
+        "tcp_flags",
+        "exporter",
+    )
+
+    start_time: float
+    end_time: float
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    protocol: int
+    packets: int
+    bytes: int
+    tcp_flags: int
+    exporter: Optional[str]
+
+    def __init__(
+        self,
+        start_time: float,
+        end_time: float,
+        src_ip: int,
+        dst_ip: int,
+        src_port: int,
+        dst_port: int,
+        protocol: int = 6,
+        packets: int = 1,
+        bytes: int = 0,
+        tcp_flags: int = 0,
+        exporter: Optional[str] = None,
+    ) -> None:
+        self.start_time = float(start_time)
+        self.end_time = float(end_time)
+        self.src_ip = src_ip
+        self.dst_ip = dst_ip
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.protocol = protocol
+        self.packets = packets
+        self.bytes = bytes
+        self.tcp_flags = tcp_flags
+        self.exporter = exporter
+
+    # ``timestamp`` mirrors PacketRecord so both satisfy the same duck type.
+    @property
+    def timestamp(self) -> float:
+        """Flow start time (alias so packets and flows share an interface)."""
+        return self.start_time
+
+    @property
+    def duration(self) -> float:
+        """Flow duration in seconds (never negative)."""
+        return max(0.0, self.end_time - self.start_time)
+
+    @property
+    def five_tuple(self) -> FiveTuple:
+        """``(protocol, src_ip, dst_ip, src_port, dst_port)``."""
+        return (self.protocol, self.src_ip, self.dst_ip, self.src_port, self.dst_port)
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.features.base.FeatureError` on malformed records."""
+        check_int_range("src_ip", self.src_ip, 0, (1 << 32) - 1)
+        check_int_range("dst_ip", self.dst_ip, 0, (1 << 32) - 1)
+        check_int_range("src_port", self.src_port, 0, 65535)
+        check_int_range("dst_port", self.dst_port, 0, 65535)
+        check_int_range("protocol", self.protocol, 0, 255)
+        check_int_range("packets", self.packets, 0, 1 << 48)
+        check_int_range("bytes", self.bytes, 0, 1 << 48)
+        if self.end_time < self.start_time:
+            raise FeatureError(
+                f"flow end time {self.end_time} precedes start time {self.start_time}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Stable dictionary form (dotted-quad addresses) for CSV/JSON export."""
+        return {
+            "start_time": self.start_time,
+            "end_time": self.end_time,
+            "src_ip": int_to_ipv4(self.src_ip),
+            "dst_ip": int_to_ipv4(self.dst_ip),
+            "src_port": self.src_port,
+            "dst_port": self.dst_port,
+            "protocol": self.protocol,
+            "packets": self.packets,
+            "bytes": self.bytes,
+            "tcp_flags": self.tcp_flags,
+            "exporter": self.exporter or "",
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FlowRecord":
+        """Inverse of :meth:`to_dict`; addresses may be dotted-quad or integers."""
+
+        def address(value: object) -> int:
+            if isinstance(value, str):
+                return ipv4_to_int(value)
+            return int(value)
+
+        return cls(
+            start_time=float(data.get("start_time", data.get("timestamp", 0.0))),
+            end_time=float(data.get("end_time", data.get("timestamp", 0.0))),
+            src_ip=address(data["src_ip"]),
+            dst_ip=address(data["dst_ip"]),
+            src_port=int(data["src_port"]),
+            dst_port=int(data["dst_port"]),
+            protocol=int(data.get("protocol", 6)),
+            packets=int(data.get("packets", 1)),
+            bytes=int(data.get("bytes", 0)),
+            tcp_flags=int(data.get("tcp_flags", 0)),
+            exporter=(str(data["exporter"]) or None) if data.get("exporter") else None,
+        )
+
+
+def packets_to_flows(
+    packets: Iterable[PacketRecord],
+    active_timeout: float = 300.0,
+    exporter: Optional[str] = None,
+) -> Iterator[FlowRecord]:
+    """Aggregate a packet stream into flow records (a minimal flow cache).
+
+    Packets with the same five-tuple are merged into one flow until the
+    flow has been active for ``active_timeout`` seconds, at which point it
+    is exported and a fresh flow starts — the behaviour of a router's flow
+    cache, which is what produces the NetFlow/IPFIX records the paper's
+    daemons consume.  Remaining flows are flushed at end of stream; output
+    order is by export time, then five-tuple.
+    """
+    active: Dict[FiveTuple, FlowRecord] = {}
+    finished = []
+    for packet in packets:
+        key = packet.five_tuple
+        flow = active.get(key)
+        if flow is not None and packet.timestamp - flow.start_time > active_timeout:
+            finished.append(flow)
+            flow = None
+        if flow is None:
+            flow = FlowRecord(
+                start_time=packet.timestamp,
+                end_time=packet.timestamp,
+                src_ip=packet.src_ip,
+                dst_ip=packet.dst_ip,
+                src_port=packet.src_port,
+                dst_port=packet.dst_port,
+                protocol=packet.protocol,
+                packets=0,
+                bytes=0,
+                exporter=exporter,
+            )
+            active[key] = flow
+        flow.packets += packet.packets
+        flow.bytes += packet.bytes
+        flow.tcp_flags |= packet.tcp_flags
+        flow.end_time = max(flow.end_time, packet.timestamp)
+    finished.extend(active.values())
+    finished.sort(key=lambda flow: (flow.end_time, flow.five_tuple))
+    yield from finished

@@ -1,0 +1,94 @@
+"""Packet and flow sampling.
+
+Routers rarely export every packet: NetFlow deployments typically apply 1:N
+packet sampling before the flow cache.  Sampling interacts with summary
+accuracy, so the library models it explicitly — both the deterministic and
+the probabilistic variant — and provides the standard inverse-probability
+renormalization used when comparing sampled summaries against unsampled
+ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, Optional, TypeVar
+
+from repro.core.errors import ConfigurationError
+
+RecordT = TypeVar("RecordT")
+
+
+def deterministic_sample(records: Iterable[RecordT], rate: int) -> Iterator[RecordT]:
+    """Keep every ``rate``-th record (1:N deterministic sampling).
+
+    ``rate=1`` passes everything through; ``rate=100`` models the common
+    1:100 backbone configuration.
+    """
+    if rate < 1:
+        raise ConfigurationError(f"sampling rate must be >= 1, got {rate}")
+    for index, record in enumerate(records):
+        if index % rate == 0:
+            yield record
+
+
+def probabilistic_sample(
+    records: Iterable[RecordT],
+    probability: float,
+    seed: Optional[int] = None,
+) -> Iterator[RecordT]:
+    """Keep each record independently with the given probability."""
+    if not 0.0 < probability <= 1.0:
+        raise ConfigurationError(f"sampling probability must be in (0, 1], got {probability}")
+    rng = random.Random(seed)
+    for record in records:
+        if rng.random() < probability:
+            yield record
+
+
+def scale_counters(value: int, sampling_rate: int) -> int:
+    """Inverse-probability estimate of an unsampled count from a sampled one."""
+    if sampling_rate < 1:
+        raise ConfigurationError(f"sampling rate must be >= 1, got {sampling_rate}")
+    return value * sampling_rate
+
+
+class SamplingAccountant:
+    """Tracks how much traffic sampling dropped, for error attribution.
+
+    Wrap the sampler's input and output streams with :meth:`saw` and
+    :meth:`kept`; the properties report the achieved rate, which will differ
+    slightly from the configured one for probabilistic sampling.
+    """
+
+    def __init__(self) -> None:
+        self._seen = 0
+        self._kept = 0
+
+    def saw(self, records: Iterable[RecordT]) -> Iterator[RecordT]:
+        """Pass-through that counts every record offered to the sampler."""
+        for record in records:
+            self._seen += 1
+            yield record
+
+    def kept(self, records: Iterable[RecordT]) -> Iterator[RecordT]:
+        """Pass-through that counts every record that survived sampling."""
+        for record in records:
+            self._kept += 1
+            yield record
+
+    @property
+    def seen(self) -> int:
+        """Records offered to the sampler."""
+        return self._seen
+
+    @property
+    def retained(self) -> int:
+        """Records that survived sampling."""
+        return self._kept
+
+    @property
+    def achieved_rate(self) -> float:
+        """Effective 1:N rate (``seen / retained``); 0 when nothing was kept."""
+        if self._kept == 0:
+            return 0.0
+        return self._seen / self._kept

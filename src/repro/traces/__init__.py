@@ -1,0 +1,54 @@
+"""Synthetic trace generators standing in for the paper's packet captures.
+
+See DESIGN.md §4 for the substitution rationale: the CAIDA Equinix-Chicago
+and MAWI captures cannot be redistributed, so the accuracy/storage
+experiments run on generators calibrated to the published flow-size,
+address-locality and protocol-mix statistics of those links.  Scenario
+generators (DDoS, scanning, enterprise/ISP edge) support the examples and
+the distributed benchmarks.
+"""
+
+from repro.traces.base import (
+    AddressModel,
+    PortModel,
+    ProtocolMix,
+    SyntheticTraceGenerator,
+    TraceGenerator,
+    TraceProfile,
+    interleave_by_time,
+)
+from repro.traces.caida import CAIDA_PROFILE, CaidaLikeTraceGenerator
+from repro.traces.mawi import MAWI_PROFILE, MawiLikeTraceGenerator
+from repro.traces.ddos import DdosScenario, DdosTraceGenerator
+from repro.traces.portscan import PortScanTraceGenerator, ScanScenario
+from repro.traces.enterprise import DEFAULT_PEERS, EnterpriseTraceGenerator, PeerNetwork
+from repro.traces.replay import TimeBin, paced, split_by_site, time_bins
+from repro.traces.zipf import ZipfRanks, lognormal_bytes, truncated_power_law_sizes
+
+__all__ = [
+    "TraceGenerator",
+    "SyntheticTraceGenerator",
+    "TraceProfile",
+    "AddressModel",
+    "PortModel",
+    "ProtocolMix",
+    "interleave_by_time",
+    "CaidaLikeTraceGenerator",
+    "CAIDA_PROFILE",
+    "MawiLikeTraceGenerator",
+    "MAWI_PROFILE",
+    "DdosTraceGenerator",
+    "DdosScenario",
+    "PortScanTraceGenerator",
+    "ScanScenario",
+    "EnterpriseTraceGenerator",
+    "PeerNetwork",
+    "DEFAULT_PEERS",
+    "TimeBin",
+    "time_bins",
+    "split_by_site",
+    "paced",
+    "ZipfRanks",
+    "truncated_power_law_sizes",
+    "lognormal_bytes",
+]

@@ -1,0 +1,82 @@
+"""CAIDA Equinix-Chicago-like backbone trace generator.
+
+Substitution for the paper's Fig. 3a workload (see DESIGN.md §4).  The
+profile targets the published characteristics of the CAIDA anonymized
+Internet traces collected at the Equinix-Chicago monitor:
+
+* very wide address diversity on both sides of the link (backbone link,
+  no "inside" network),
+* strongly heavy-tailed flow sizes — roughly 55–60 % of flows are a single
+  packet while the top 0.1 % of flows carry a third of the packets,
+* a TCP-dominated protocol mix (≈ 85 % TCP, ≈ 13 % UDP),
+* web/HTTPS-dominated destination ports.
+
+Absolute addresses are synthetic (the real traces are anonymized anyway);
+only the distributional shape matters for Flowtree's accuracy behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.traces.base import (
+    AddressModel,
+    PortModel,
+    ProtocolMix,
+    SyntheticTraceGenerator,
+    TraceProfile,
+)
+
+#: Profile used by the Fig. 3a reproduction.
+CAIDA_PROFILE = TraceProfile(
+    name="caida-equinix-chicago",
+    flow_population=400_000,
+    popularity_exponent=1.08,
+    src_addresses=AddressModel(
+        top_count=72,
+        mid_count=160,
+        subnet_count=200,
+        host_count=230,
+        top_exponent=1.05,
+        mid_exponent=0.95,
+        subnet_exponent=0.85,
+        host_exponent=0.75,
+    ),
+    dst_addresses=AddressModel(
+        top_count=64,
+        mid_count=140,
+        subnet_count=190,
+        host_count=230,
+        top_exponent=1.15,
+        mid_exponent=1.0,
+        subnet_exponent=0.9,
+        host_exponent=0.8,
+    ),
+    src_ports=PortModel(well_known_fraction=0.18),
+    dst_ports=PortModel(
+        well_known=(80, 443, 53, 22, 25, 123, 993, 8080, 3389, 445),
+        well_known_weights=(0.27, 0.38, 0.11, 0.03, 0.03, 0.03, 0.04, 0.06, 0.03, 0.02),
+        well_known_fraction=0.78,
+    ),
+    protocols=ProtocolMix(values=(6, 17, 1, 47), weights=(0.85, 0.125, 0.015, 0.01)),
+    packet_bytes_mean=6.3,
+    packet_bytes_sigma=1.0,
+    mean_packet_interval=2e-6,
+)
+
+
+class CaidaLikeTraceGenerator(SyntheticTraceGenerator):
+    """Backbone (Equinix-Chicago-like) packet stream.
+
+    Example::
+
+        generator = CaidaLikeTraceGenerator(seed=42)
+        tree = Flowtree(SCHEMA_4F)
+        tree.add_records(generator.packets(1_000_000))
+    """
+
+    def __init__(self, seed: Optional[int] = 0, flow_population: Optional[int] = None) -> None:
+        profile = CAIDA_PROFILE
+        if flow_population is not None:
+            profile = profile.scaled(flow_population)
+        super().__init__(profile, seed=seed)

@@ -1,0 +1,125 @@
+"""MAWI-like transit link trace generator.
+
+Substitution for the paper's Fig. 3b workload (see DESIGN.md §4).  The MAWI
+working group's samplepoint-F traces (trans-Pacific transit link) differ
+from the CAIDA backbone traces mainly in:
+
+* a larger share of UDP, ICMP and scanning/backscatter traffic,
+* an even larger fraction of tiny (single-packet) flows,
+* fewer extremely heavy flows (the heavy tail is flatter), and
+* a destination port mix with more DNS and NTP and less HTTPS.
+
+The generator mixes a base population with an explicit scanning component
+(one-packet SYN probes spread over many destinations), which reproduces the
+characteristic "wide and shallow" shape of that capture.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.flows.records import PacketRecord
+from repro.traces.base import (
+    AddressModel,
+    PortModel,
+    ProtocolMix,
+    SyntheticTraceGenerator,
+    TraceProfile,
+    interleave_by_time,
+)
+from repro.traces.zipf import make_rng
+
+#: Profile of the non-scan portion of the MAWI-like trace.
+MAWI_PROFILE = TraceProfile(
+    name="mawi-samplepoint-f",
+    flow_population=500_000,
+    popularity_exponent=0.92,
+    src_addresses=AddressModel(
+        top_count=96,
+        mid_count=200,
+        subnet_count=220,
+        host_count=240,
+        top_exponent=0.95,
+        mid_exponent=0.85,
+        subnet_exponent=0.8,
+        host_exponent=0.7,
+    ),
+    dst_addresses=AddressModel(
+        top_count=88,
+        mid_count=180,
+        subnet_count=210,
+        host_count=240,
+        top_exponent=1.0,
+        mid_exponent=0.9,
+        subnet_exponent=0.85,
+        host_exponent=0.75,
+    ),
+    src_ports=PortModel(well_known_fraction=0.12),
+    dst_ports=PortModel(
+        well_known=(80, 443, 53, 123, 25, 22, 445, 23, 1900, 8080),
+        well_known_weights=(0.22, 0.24, 0.22, 0.08, 0.04, 0.04, 0.06, 0.04, 0.03, 0.03),
+        well_known_fraction=0.66,
+    ),
+    protocols=ProtocolMix(values=(6, 17, 1, 47), weights=(0.70, 0.24, 0.05, 0.01)),
+    packet_bytes_mean=5.9,
+    packet_bytes_sigma=1.1,
+    mean_packet_interval=4e-6,
+)
+
+
+class MawiLikeTraceGenerator(SyntheticTraceGenerator):
+    """Transit-link (MAWI-like) packet stream with an explicit scanning component."""
+
+    def __init__(
+        self,
+        seed: Optional[int] = 0,
+        flow_population: Optional[int] = None,
+        scan_fraction: float = 0.08,
+    ) -> None:
+        profile = MAWI_PROFILE
+        if flow_population is not None:
+            profile = profile.scaled(flow_population)
+        super().__init__(profile, seed=seed)
+        self._scan_fraction = min(max(scan_fraction, 0.0), 0.5)
+        self._scan_rng = make_rng(None if seed is None else seed + 7919)
+
+    def packets(self, count: int, chunk_size: int = 65_536) -> Iterator[PacketRecord]:
+        """Background traffic interleaved with single-packet scan probes."""
+        scan_count = int(count * self._scan_fraction)
+        base_count = count - scan_count
+        if scan_count == 0:
+            yield from super().packets(base_count, chunk_size=chunk_size)
+            return
+        yield from interleave_by_time(
+            [
+                super().packets(base_count, chunk_size=chunk_size),
+                self._scan_packets(scan_count),
+            ]
+        )
+
+    def _scan_packets(self, count: int) -> Iterator[PacketRecord]:
+        """SYN probes from a few scanners to many destinations (backscatter-like)."""
+        rng = self._scan_rng
+        profile = self.profile
+        scanner_count = max(4, count // 20_000)
+        scanners = profile.src_addresses.sample(scanner_count, rng)
+        clock = profile.start_time
+        # Scanners sweep destination /16s sequentially; ports cycle through a
+        # short list of commonly probed services.
+        probe_ports = (23, 445, 22, 3389, 80, 8080, 2323, 5555)
+        dst_base = profile.dst_addresses.sample(scanner_count, rng) & 0xFFFF0000
+        for i in range(count):
+            scanner = int(i % scanner_count)
+            clock += float(rng.exponential(profile.mean_packet_interval * 10))
+            yield PacketRecord(
+                timestamp=clock,
+                src_ip=int(scanners[scanner]),
+                dst_ip=int(dst_base[scanner] | ((i * 2654435761) & 0xFFFF)),
+                src_port=int(rng.integers(1024, 65536)),
+                dst_port=int(probe_ports[i % len(probe_ports)]),
+                protocol=6,
+                bytes=40,
+                tcp_flags=0x02,
+            )

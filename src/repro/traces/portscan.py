@@ -1,0 +1,95 @@
+"""Port-scan / network-scan scenario generator.
+
+Scanning traffic is the classic "many tiny flows" workload: a single source
+touches thousands of destination addresses or ports with one packet each.
+It is the worst case for per-flow accounting (every probe is a new flow)
+and the best showcase for Flowtree's aggregation — the whole scan collapses
+into a handful of source-anchored aggregate nodes.  Used by the anomaly
+example and the baseline-comparison benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.features.ipaddr import ipv4_to_int
+from repro.flows.records import PacketRecord
+from repro.traces.base import SyntheticTraceGenerator, TraceGenerator, interleave_by_time
+from repro.traces.caida import CAIDA_PROFILE
+from repro.traces.zipf import make_rng
+
+
+@dataclass(frozen=True)
+class ScanScenario:
+    """Parameters of the scan overlaid on background traffic."""
+
+    scanner_address: str = "198.51.100.77"
+    target_network: str = "10.32.0.0"
+    target_network_bits: int = 16
+    mode: str = "horizontal"  # "horizontal" = one port, many hosts; "vertical" = one host, many ports
+    probe_port: int = 22
+    scan_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("horizontal", "vertical"):
+            raise ValueError(f"mode must be 'horizontal' or 'vertical', got {self.mode!r}")
+
+
+class PortScanTraceGenerator(TraceGenerator):
+    """Background traffic plus a single-source scan."""
+
+    def __init__(
+        self,
+        scenario: Optional[ScanScenario] = None,
+        seed: Optional[int] = 0,
+        background_flow_population: int = 120_000,
+    ) -> None:
+        self._scenario = scenario or ScanScenario()
+        self._background = SyntheticTraceGenerator(
+            CAIDA_PROFILE.scaled(background_flow_population), seed=seed
+        )
+        self._rng = make_rng(None if seed is None else seed + 15485863)
+
+    @property
+    def scenario(self) -> ScanScenario:
+        """The scan parameters."""
+        return self._scenario
+
+    def packets(self, count: int) -> Iterator[PacketRecord]:
+        """Yield ``count`` packets, scan probes interleaved with background traffic."""
+        scan_count = int(count * self._scenario.scan_fraction)
+        background_count = count - scan_count
+        return interleave_by_time(
+            [
+                self._background.packets(background_count),
+                self._scan_packets(scan_count),
+            ]
+        )
+
+    def _scan_packets(self, count: int) -> Iterator[PacketRecord]:
+        scenario = self._scenario
+        rng = self._rng
+        profile = self._background.profile
+        scanner = ipv4_to_int(scenario.scanner_address)
+        network = ipv4_to_int(scenario.target_network)
+        host_bits = 32 - scenario.target_network_bits
+        clock = profile.start_time
+        for i in range(count):
+            clock += float(rng.exponential(profile.mean_packet_interval * 5))
+            if scenario.mode == "horizontal":
+                dst_ip = network | ((i * 2654435761) & ((1 << host_bits) - 1))
+                dst_port = scenario.probe_port
+            else:
+                dst_ip = network | 1
+                dst_port = 1 + (i % 65535)
+            yield PacketRecord(
+                timestamp=clock,
+                src_ip=scanner,
+                dst_ip=dst_ip,
+                src_port=int(rng.integers(1024, 65536)),
+                dst_port=dst_port,
+                protocol=6,
+                bytes=40,
+                tcp_flags=0x02,
+            )

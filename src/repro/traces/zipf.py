@@ -1,0 +1,123 @@
+"""Heavy-tail samplers used by the trace generators.
+
+Internet flow-size and popularity distributions are famously heavy-tailed:
+a small number of flows (and prefixes, and ports) carry most packets, while
+the majority of flows are one or two packets long.  The generators express
+this with two primitives implemented here — a bounded Zipf rank sampler and
+a discrete truncated power-law ("Pareto") size sampler — both vectorized
+with numpy so that generating millions of packets stays cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+
+
+class ZipfRanks:
+    """Samples ranks ``0..population-1`` with probability proportional to ``1/(rank+1)**exponent``.
+
+    This is the workhorse of the trace generators: flow popularity, prefix
+    popularity and port popularity are all "rank + Zipf weight" models.
+    """
+
+    def __init__(self, population: int, exponent: float, rng: np.random.Generator) -> None:
+        if population < 1:
+            raise ConfigurationError(f"population must be positive, got {population}")
+        if exponent < 0:
+            raise ConfigurationError(f"Zipf exponent must be non-negative, got {exponent}")
+        self._population = population
+        self._exponent = exponent
+        self._rng = rng
+        weights = 1.0 / np.power(np.arange(1, population + 1, dtype=np.float64), exponent)
+        self._cumulative = np.cumsum(weights)
+        self._total = self._cumulative[-1]
+
+    @property
+    def population(self) -> int:
+        """Number of distinct ranks."""
+        return self._population
+
+    def sample(self, count: int) -> np.ndarray:
+        """Draw ``count`` ranks (vectorized inverse-CDF sampling)."""
+        if count < 0:
+            raise ConfigurationError(f"count must be non-negative, got {count}")
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        points = self._rng.random(count) * self._total
+        return np.searchsorted(self._cumulative, points, side="left").astype(np.int64)
+
+    def probabilities(self) -> np.ndarray:
+        """Exact per-rank probabilities (used by tests to check the sampler)."""
+        weights = np.diff(np.concatenate(([0.0], self._cumulative)))
+        return weights / self._total
+
+
+def truncated_power_law_sizes(
+    count: int,
+    alpha: float,
+    maximum: int,
+    rng: np.random.Generator,
+    minimum: int = 1,
+) -> np.ndarray:
+    """Draw ``count`` integer sizes from ``P(k) ∝ k**-alpha`` on ``[minimum, maximum]``.
+
+    Flow sizes (packets per flow) on backbone links follow roughly this
+    shape with ``alpha`` around 2, which yields the familiar "more than
+    half of all flows are single packets" statistic.
+    """
+    if count < 0:
+        raise ConfigurationError(f"count must be non-negative, got {count}")
+    if minimum < 1 or maximum < minimum:
+        raise ConfigurationError(f"invalid size range [{minimum}, {maximum}]")
+    if alpha <= 0:
+        raise ConfigurationError(f"alpha must be positive, got {alpha}")
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    values = np.arange(minimum, maximum + 1, dtype=np.float64)
+    weights = np.power(values, -alpha)
+    cumulative = np.cumsum(weights)
+    points = rng.random(count) * cumulative[-1]
+    return (np.searchsorted(cumulative, points, side="left") + minimum).astype(np.int64)
+
+
+def lognormal_bytes(
+    count: int,
+    mean: float,
+    sigma: float,
+    rng: np.random.Generator,
+    minimum: int = 40,
+    maximum: int = 1500,
+) -> np.ndarray:
+    """Packet sizes in bytes from a clipped log-normal (bimodal-ish reality simplified)."""
+    if count < 0:
+        raise ConfigurationError(f"count must be non-negative, got {count}")
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    sizes = rng.lognormal(mean=mean, sigma=sigma, size=count)
+    return np.clip(sizes, minimum, maximum).astype(np.int64)
+
+
+def weighted_choice(
+    values: Sequence[int],
+    weights: Sequence[float],
+    count: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Vectorized categorical sampling (protocol mixes, well-known port mixes)."""
+    if len(values) != len(weights) or not values:
+        raise ConfigurationError("values and weights must be non-empty and equally long")
+    probabilities = np.asarray(weights, dtype=np.float64)
+    total = probabilities.sum()
+    if total <= 0:
+        raise ConfigurationError("weights must sum to a positive value")
+    probabilities = probabilities / total
+    return rng.choice(np.asarray(values, dtype=np.int64), size=count, p=probabilities)
+
+
+def make_rng(seed: Optional[int]) -> np.random.Generator:
+    """Create a numpy random generator (fixed seed => reproducible traces)."""
+    return np.random.default_rng(seed)

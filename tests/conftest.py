@@ -1,0 +1,145 @@
+"""Shared fixtures for the Flowtree test suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.config import FlowtreeConfig
+from repro.core.flowtree import Flowtree
+from repro.core.key import FlowKey
+from repro.features.ipaddr import IPv4Prefix, ipv4_to_int
+from repro.features.ports import PortRange
+from repro.features.protocol import Protocol
+from repro.features.schema import SCHEMA_1F_SRC, SCHEMA_2F_SRC_DST, SCHEMA_4F, SCHEMA_5F
+from repro.flows.records import FlowRecord, PacketRecord
+from repro.traces import CaidaLikeTraceGenerator
+
+
+@dataclass
+class SimpleRecord:
+    """Minimal duck-typed record used by core tests (no timestamps needed)."""
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    protocol: int = 6
+    packets: int = 1
+    bytes: int = 100
+
+
+def make_record(
+    src: str = "1.1.1.1",
+    dst: str = "2.2.2.2",
+    sport: int = 1234,
+    dport: int = 80,
+    protocol: int = 6,
+    packets: int = 1,
+    bytes: int = 100,
+) -> SimpleRecord:
+    """Convenience constructor taking dotted-quad addresses."""
+    return SimpleRecord(
+        src_ip=ipv4_to_int(src),
+        dst_ip=ipv4_to_int(dst),
+        src_port=sport,
+        dst_port=dport,
+        protocol=protocol,
+        packets=packets,
+        bytes=bytes,
+    )
+
+
+def key4(src: str, dst: str, sport: str, dport: str) -> FlowKey:
+    """Build a 4-feature key from wire strings ('*' for wildcards)."""
+    return FlowKey.from_wire(SCHEMA_4F, (src, dst, sport, dport))
+
+
+def key2(src: str, dst: str) -> FlowKey:
+    """Build a 2-feature key from wire strings."""
+    return FlowKey.from_wire(SCHEMA_2F_SRC_DST, (src, dst))
+
+
+@pytest.fixture
+def schema_1f():
+    return SCHEMA_1F_SRC
+
+
+@pytest.fixture
+def schema_2f():
+    return SCHEMA_2F_SRC_DST
+
+
+@pytest.fixture
+def schema_4f():
+    return SCHEMA_4F
+
+
+@pytest.fixture
+def schema_5f():
+    return SCHEMA_5F
+
+
+@pytest.fixture
+def small_config():
+    """A tight node budget so compaction is exercised by small streams."""
+    return FlowtreeConfig(max_nodes=64, victim_batch=8)
+
+
+@pytest.fixture
+def unbounded_config():
+    """No compaction: the tree keeps every distinct key (exact mode)."""
+    return FlowtreeConfig(max_nodes=None)
+
+
+@pytest.fixture
+def empty_tree_4f(schema_4f):
+    return Flowtree(schema_4f, FlowtreeConfig(max_nodes=1_000))
+
+
+@pytest.fixture
+def packet_stream_small():
+    """A deterministic 5 000-packet CAIDA-like stream shared across tests."""
+    generator = CaidaLikeTraceGenerator(seed=1234, flow_population=2_000)
+    return list(generator.packets(5_000))
+
+
+@pytest.fixture
+def flow_records_small():
+    """A handful of explicit flow records with known values."""
+    return [
+        FlowRecord(
+            start_time=1000.0 + i,
+            end_time=1001.0 + i,
+            src_ip=ipv4_to_int("10.0.0.1") + (i % 3),
+            dst_ip=ipv4_to_int("192.0.2.10"),
+            src_port=40_000 + i,
+            dst_port=443 if i % 2 == 0 else 80,
+            protocol=6,
+            packets=10 + i,
+            bytes=1_000 + 10 * i,
+        )
+        for i in range(20)
+    ]
+
+
+@pytest.fixture
+def packet_records_small():
+    """Packet records with fixed five-tuples for codec round-trip tests."""
+    return [
+        PacketRecord(
+            timestamp=2000.0 + i * 0.25,
+            src_ip=ipv4_to_int("172.16.5.9"),
+            dst_ip=ipv4_to_int("198.51.100.33"),
+            src_port=50_000 + (i % 4),
+            dst_port=53,
+            protocol=17,
+            bytes=120,
+        )
+        for i in range(40)
+    ]
+
+
+# Re-exported helpers so test modules can simply import from conftest.
+__all__ = ["SimpleRecord", "make_record", "key4", "key2"]

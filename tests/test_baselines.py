@@ -1,0 +1,217 @@
+"""Tests for the baseline summaries (exact, Space-Saving, HHH, RHHH, Count-Min)."""
+
+import pytest
+
+from conftest import key2, make_record
+from repro.baselines import (
+    CountMinSketch,
+    ExactAggregator,
+    FullUpdateHHH,
+    HierarchicalCountMin,
+    RandomizedHHH,
+    SpaceSavingCounter,
+    SpaceSavingSummary,
+)
+from repro.core.errors import ConfigurationError
+from repro.core.key import FlowKey
+from repro.features.schema import SCHEMA_2F_SRC_DST
+from repro.traces import CaidaLikeTraceGenerator
+
+
+@pytest.fixture(scope="module")
+def trace():
+    generator = CaidaLikeTraceGenerator(seed=77, flow_population=3_000)
+    return list(generator.packets(8_000))
+
+
+@pytest.fixture(scope="module")
+def truth(trace):
+    aggregator = ExactAggregator(SCHEMA_2F_SRC_DST)
+    aggregator.add_records(trace)
+    return aggregator
+
+
+class TestExactAggregator:
+    def test_totals_and_flow_counts(self, trace, truth):
+        assert truth.total() == len(trace)
+        counts = truth.flow_counts()
+        assert sum(counts.values()) == len(trace)
+        assert truth.distinct_flows() == len(counts) == truth.node_count()
+
+    def test_specific_flow_estimate_is_exact(self, truth):
+        key, count = truth.heavy_hitters(1)[0]
+        assert truth.estimate(key) == count
+
+    def test_aggregate_estimate_scans_contained_flows(self):
+        aggregator = ExactAggregator(SCHEMA_2F_SRC_DST)
+        aggregator.add_record(make_record(src="10.0.0.1", packets=5))
+        aggregator.add_record(make_record(src="10.0.0.2", packets=7))
+        aggregator.add_record(make_record(src="192.0.2.1", packets=11))
+        assert aggregator.estimate(key2("10.0.0.0/8", "*")) == 12
+        assert aggregator.estimate(key2("*", "*")) == 23
+
+    def test_popularity_map_matches_individual_estimates(self, truth):
+        keys = [key2("10.0.0.0/8", "*"), key2("192.0.0.0/8", "*"), key2("*", "*")]
+        mapped = truth.popularity_map(keys)
+        for key in keys:
+            assert mapped[key] == truth.estimate(key)
+
+    def test_heavy_keys_above_fraction(self, truth):
+        heavy = truth.heavy_keys_above_fraction(0.001)
+        threshold = truth.total() * 0.001
+        assert all(count >= threshold for _, count in heavy)
+
+    def test_add_key_direct(self):
+        aggregator = ExactAggregator(SCHEMA_2F_SRC_DST)
+        aggregator.add_key(key2("10.0.0.1", "192.0.2.1"), packets=3, bytes=300)
+        assert aggregator.estimate(key2("10.0.0.1", "192.0.2.1")) == 3
+        assert aggregator.estimate(key2("10.0.0.1", "192.0.2.1"), metric="bytes") == 300
+
+
+class TestSpaceSaving:
+    def test_counter_within_capacity_is_exact(self):
+        counter = SpaceSavingCounter(10)
+        for _ in range(5):
+            counter.add("a")
+        counter.add("b", 3)
+        assert counter.estimate("a") == 5
+        assert counter.guaranteed("a") == 5
+        assert counter.estimate("missing") == 0
+        assert len(counter) == 2
+
+    def test_counter_eviction_overestimates(self):
+        counter = SpaceSavingCounter(2)
+        counter.add("a", 10)
+        counter.add("b", 5)
+        counter.add("c", 1)  # evicts b, inherits 5
+        assert "b" not in counter
+        assert counter.estimate("c") == 6
+        assert counter.guaranteed("c") == 1
+
+    def test_counter_never_underestimates(self, trace):
+        from collections import Counter as PyCounter
+
+        exact = PyCounter((p.src_ip, p.dst_ip) for p in trace)
+        counter = SpaceSavingCounter(500)
+        for packet in trace:
+            counter.add((packet.src_ip, packet.dst_ip))
+        for key, estimate in counter.items():
+            assert estimate >= exact[key]
+
+    def test_counter_top_and_heavy_hitters(self):
+        counter = SpaceSavingCounter(10)
+        for i, weight in enumerate([100, 50, 1]):
+            counter.add(f"k{i}", weight)
+        assert [key for key, _ in counter.top(2)] == ["k0", "k1"]
+        assert dict(counter.heavy_hitters(50)) == {"k0": 100, "k1": 50}
+
+    def test_counter_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            SpaceSavingCounter(0)
+
+    def test_summary_tracks_heavy_flows(self, trace, truth):
+        summary = SpaceSavingSummary(SCHEMA_2F_SRC_DST, capacity=1_000)
+        summary.add_records(trace)
+        assert summary.node_count() <= 1_000
+        top_key, top_count = truth.heavy_hitters(1)[0]
+        assert summary.estimate(top_key) >= top_count
+
+    def test_summary_aggregate_query_sums_tracked_flows(self, trace):
+        summary = SpaceSavingSummary(SCHEMA_2F_SRC_DST, capacity=2_000)
+        summary.add_records(trace)
+        aggregate = summary.estimate(key2("*", "*"))
+        assert aggregate >= len(trace) * 0.9  # capacity large enough to track most traffic
+
+    def test_summary_unknown_metric_returns_zero(self, trace):
+        summary = SpaceSavingSummary(SCHEMA_2F_SRC_DST, capacity=100)
+        summary.add_records(trace[:100])
+        assert summary.estimate(key2("*", "*"), metric="bytes") == 0
+
+
+class TestFullUpdateHHH:
+    def test_heavy_flow_estimates_close_to_truth(self, trace, truth):
+        hhh = FullUpdateHHH(SCHEMA_2F_SRC_DST, counters_per_level=800)
+        hhh.add_records(trace)
+        for key, count in truth.heavy_hitters(int(0.01 * len(trace)))[:5]:
+            estimate = hhh.estimate(key)
+            assert estimate >= count
+            assert estimate <= count * 1.5 + 50
+
+    def test_aggregate_levels_answered(self, trace, truth):
+        hhh = FullUpdateHHH(SCHEMA_2F_SRC_DST, counters_per_level=800)
+        hhh.add_records(trace)
+        query = key2("*", "*")
+        assert hhh.estimate(query) == len(trace)
+        assert hhh.total() == len(trace)
+
+    def test_hierarchical_heavy_hitters_discounting(self, trace):
+        hhh = FullUpdateHHH(SCHEMA_2F_SRC_DST, counters_per_level=800)
+        hhh.add_records(trace)
+        threshold = int(0.02 * len(trace))
+        results = hhh.hierarchical_heavy_hitters(threshold)
+        assert results, "expected at least one hierarchical heavy hitter"
+        assert all(count >= threshold for _, count in results)
+        # The all-wildcard key should be discounted below raw total traffic.
+        root_entries = [count for key, count in results if key.is_root]
+        if root_entries:
+            assert root_entries[0] < len(trace)
+
+    def test_levels_and_node_count(self, trace):
+        hhh = FullUpdateHHH(SCHEMA_2F_SRC_DST, counters_per_level=300)
+        hhh.add_records(trace[:1_000])
+        assert len(hhh.levels()) == 17  # 2 x (32/4) chain steps + root
+        assert hhh.node_count() <= 300 * 17
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            FullUpdateHHH(SCHEMA_2F_SRC_DST, counters_per_level=0)
+
+
+class TestRandomizedHHH:
+    def test_estimates_are_unbiased_in_scale(self, trace, truth):
+        rhhh = RandomizedHHH(SCHEMA_2F_SRC_DST, counters_per_level=800, seed=5)
+        rhhh.add_records(trace)
+        root_estimate = rhhh.estimate(key2("*", "*"))
+        assert root_estimate == pytest.approx(len(trace), rel=0.25)
+
+    def test_heavy_flow_detection(self, trace, truth):
+        rhhh = RandomizedHHH(SCHEMA_2F_SRC_DST, counters_per_level=800, seed=6)
+        rhhh.add_records(trace)
+        top_key, top_count = truth.heavy_hitters(1)[0]
+        hitters = dict(rhhh.heavy_hitters(int(top_count * 0.3)))
+        assert top_key in hitters
+
+    def test_reproducible_with_seed(self, trace):
+        a = RandomizedHHH(SCHEMA_2F_SRC_DST, counters_per_level=200, seed=9)
+        b = RandomizedHHH(SCHEMA_2F_SRC_DST, counters_per_level=200, seed=9)
+        a.add_records(trace[:2_000])
+        b.add_records(trace[:2_000])
+        assert a.estimate(key2("*", "*")) == b.estimate(key2("*", "*"))
+        assert a.updates() == 2_000
+
+
+class TestCountMin:
+    def test_sketch_never_underestimates(self):
+        sketch = CountMinSketch(width=256, depth=4)
+        for i in range(1_000):
+            sketch.add(f"key-{i % 50}")
+        for i in range(50):
+            assert sketch.estimate(f"key-{i}") >= 20
+
+    def test_sketch_unknown_key_small(self):
+        sketch = CountMinSketch(width=4_096, depth=4)
+        for i in range(1_000):
+            sketch.add(f"key-{i}")
+        assert sketch.estimate("never-seen") <= 5
+
+    def test_sketch_rejects_bad_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            CountMinSketch(width=4, depth=0)
+
+    def test_hierarchical_sketch_answers_all_levels(self, trace):
+        sketch = HierarchicalCountMin(SCHEMA_2F_SRC_DST, width=2_048, depth=4)
+        sketch.add_records(trace[:3_000])
+        assert sketch.estimate(key2("*", "*")) >= 3_000
+        aggregate = key2("10.0.0.0/8", "*")
+        assert sketch.estimate(aggregate) >= 0
+        assert sketch.node_count() == 2_048 * 4 * len(sketch.levels())

@@ -1,0 +1,93 @@
+"""Tests for the ``flowtree`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.serialization import from_bytes
+
+
+@pytest.fixture(scope="module")
+def trace_csv(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "trace.csv"
+    assert main(["generate", "--kind", "caida", "--packets", "8000", "--seed", "3",
+                 str(path)]) == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def summary_file(tmp_path_factory, trace_csv):
+    path = tmp_path_factory.mktemp("cli") / "summary.ft"
+    assert main(["build", "--schema", "4f", "--max-nodes", "1000",
+                 str(trace_csv), str(path)]) == 0
+    return path
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("generate", "build", "info", "query", "top", "merge", "diff", "drilldown"):
+            assert command in text
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_generate_creates_csv(self, trace_csv):
+        header = trace_csv.read_text().splitlines()[0]
+        assert header.startswith("start_time,")
+
+    def test_generate_pcap(self, tmp_path):
+        path = tmp_path / "trace.pcap"
+        assert main(["generate", "--kind", "scan", "--packets", "2000",
+                     "--format", "pcap", str(path)]) == 0
+        assert path.stat().st_size > 1_000
+
+    def test_build_produces_loadable_summary(self, summary_file):
+        tree = from_bytes(summary_file.read_bytes())
+        assert tree.schema.name == "4f"
+        assert 1 < tree.node_count() <= 1_000
+        assert tree.total_counters().packets == 8_000
+
+    def test_info(self, summary_file, capsys):
+        assert main(["info", str(summary_file)]) == 0
+        output = capsys.readouterr().out
+        assert "schema" in output and "4f" in output
+        assert "packets" in output and "8000" in output
+
+    def test_query_wildcards(self, summary_file, capsys):
+        assert main(["query", str(summary_file), "*", "*", "*", "443"]) == 0
+        output = capsys.readouterr().out
+        assert "estimate" in output
+
+    def test_top(self, summary_file, capsys):
+        assert main(["top", str(summary_file), "-n", "5"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("\n") >= 6  # header + separator + 5 rows
+
+    def test_merge_and_diff(self, summary_file, tmp_path, capsys):
+        merged = tmp_path / "merged.ft"
+        assert main(["merge", str(summary_file), str(summary_file), "-o", str(merged)]) == 0
+        tree = from_bytes(merged.read_bytes())
+        assert tree.total_counters().packets == 16_000
+
+        delta = tmp_path / "delta.ft"
+        assert main(["diff", str(merged), str(summary_file), "-o", str(delta)]) == 0
+        assert from_bytes(delta.read_bytes()).total_counters().packets == 8_000
+
+    def test_drilldown(self, summary_file, capsys):
+        assert main(["drilldown", str(summary_file), "*", "*", "*", "*", "--feature", "0"]) == 0
+        output = capsys.readouterr().out
+        assert "Investigation" in output
+
+    def test_error_paths_return_nonzero(self, tmp_path, capsys):
+        missing = tmp_path / "does-not-exist.ft"
+        assert main(["info", str(missing)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_build_rejects_unknown_schema(self, trace_csv, tmp_path, capsys):
+        out = tmp_path / "x.ft"
+        assert main(["build", "--schema", "17f", str(trace_csv), str(out)]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,231 @@
+"""Tests for compaction behaviour and the merge/diff operators."""
+
+import pytest
+
+from conftest import key2, key4, make_record
+from repro.core.config import FlowtreeConfig
+from repro.core.errors import SchemaMismatchError
+from repro.core.flowtree import Flowtree
+from repro.core.key import FlowKey
+from repro.core.node import Counters
+from repro.core.operators import (
+    apply_diff,
+    conservation_error,
+    counter_table,
+    diff_chain,
+    find_heavy_hitters,
+    key_union,
+    merge_all,
+    reconstruct_from_diffs,
+    relative_change,
+    summary_distance,
+    total_traffic,
+)
+from repro.features.schema import SCHEMA_2F_SRC_DST, SCHEMA_4F
+from repro.traces import CaidaLikeTraceGenerator
+
+
+def build_tree(packets, max_nodes=200, schema=SCHEMA_4F):
+    tree = Flowtree(schema, FlowtreeConfig(max_nodes=max_nodes))
+    tree.add_records(packets)
+    return tree
+
+
+class TestCompaction:
+    def test_compaction_preserves_totals(self, packet_stream_small):
+        tree = build_tree(packet_stream_small, max_nodes=64)
+        assert tree.total_counters().packets == len(packet_stream_small)
+
+    def test_compaction_creates_intermediate_aggregates(self, packet_stream_small):
+        tree = build_tree(packet_stream_small, max_nodes=128)
+        specificities = {key.specificity for key in tree.keys()}
+        full = max(specificities)
+        # There must be aggregation levels strictly between root and fully specific.
+        assert any(0 < spec < full for spec in specificities)
+
+    def test_compaction_does_not_dump_everything_into_root(self, packet_stream_small):
+        tree = build_tree(packet_stream_small, max_nodes=128)
+        root_share = tree.root.counters.packets / max(1, tree.total_counters().packets)
+        assert root_share < 0.2
+
+    def test_explicit_compact_to_target(self, packet_stream_small):
+        tree = build_tree(packet_stream_small, max_nodes=1_000)
+        before = len(tree)
+        removed = tree.compact(target_nodes=100)
+        assert len(tree) <= 100
+        assert removed >= before - 100
+        tree.validate()
+
+    def test_compact_noop_when_under_target(self, empty_tree_4f):
+        empty_tree_4f.add_record(make_record())
+        assert empty_tree_4f.compact(target_nodes=100) == 0
+
+    def test_compact_unbounded_tree_is_noop(self, packet_stream_small, unbounded_config):
+        tree = Flowtree(SCHEMA_4F, unbounded_config)
+        tree.add_records(packet_stream_small[:500])
+        assert tree.compact() == 0
+
+    def test_heavy_flows_survive_compaction(self, packet_stream_small):
+        tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=256))
+        heavy = make_record(src="9.9.9.9", dport=443)
+        for packet in packet_stream_small:
+            tree.add_record(packet)
+            tree.add_record(heavy)
+        heavy_key = FlowKey.from_record(SCHEMA_4F, heavy)
+        assert heavy_key in tree
+        estimate = tree.estimate(heavy_key).value()
+        assert estimate >= len(packet_stream_small) * 0.9
+
+    def test_protected_min_count_keeps_popular_leaves(self):
+        config = FlowtreeConfig(max_nodes=32, protected_min_count=50, victim_batch=4)
+        tree = Flowtree(SCHEMA_2F_SRC_DST, config)
+        protected = make_record(src="10.0.0.1", dst="192.0.2.1", packets=100)
+        tree.add_record(protected)
+        for i in range(400):
+            tree.add_record(make_record(src=f"172.16.{i % 250}.{i // 250 + 1}", dst="198.51.100.9"))
+        protected_key = FlowKey.from_record(SCHEMA_2F_SRC_DST, protected)
+        assert protected_key in tree
+        assert len(tree) <= 32
+
+
+class TestMergeAndDiff:
+    def test_merge_adds_complementary_counters(self):
+        a = Flowtree(SCHEMA_2F_SRC_DST, FlowtreeConfig(max_nodes=100))
+        b = Flowtree(SCHEMA_2F_SRC_DST, FlowtreeConfig(max_nodes=100))
+        a.add(key2("10.0.0.1", "192.0.2.1"), packets=5)
+        b.add(key2("10.0.0.1", "192.0.2.1"), packets=7)
+        b.add(key2("10.0.0.0/8", "*"), packets=3)
+        a.merge(b)
+        assert a.complementary_counters(key2("10.0.0.1", "192.0.2.1")).packets == 12
+        assert a.complementary_counters(key2("10.0.0.0/8", "*")).packets == 3
+        a.validate()
+
+    def test_merge_conserves_totals(self, packet_stream_small):
+        half = len(packet_stream_small) // 2
+        a = build_tree(packet_stream_small[:half], max_nodes=150)
+        b = build_tree(packet_stream_small[half:], max_nodes=150)
+        merged = a.merged(b)
+        assert merged.total_counters().packets == len(packet_stream_small)
+        # Originals untouched by the pure form.
+        assert a.total_counters().packets == half
+
+    def test_merge_respects_budget(self, packet_stream_small):
+        half = len(packet_stream_small) // 2
+        a = build_tree(packet_stream_small[:half], max_nodes=100)
+        b = build_tree(packet_stream_small[half:], max_nodes=100)
+        a.merge(b)
+        assert len(a) <= 100
+
+    def test_merge_is_commutative_in_totals(self, packet_stream_small):
+        half = len(packet_stream_small) // 2
+        a = build_tree(packet_stream_small[:half], max_nodes=500)
+        b = build_tree(packet_stream_small[half:], max_nodes=500)
+        ab = a.merged(b)
+        ba = b.merged(a)
+        assert ab.total_counters() == ba.total_counters()
+
+    def test_diff_then_apply_recovers_counts(self):
+        before = Flowtree(SCHEMA_2F_SRC_DST, FlowtreeConfig(max_nodes=100))
+        after = Flowtree(SCHEMA_2F_SRC_DST, FlowtreeConfig(max_nodes=100))
+        before.add(key2("10.0.0.1", "192.0.2.1"), packets=10)
+        after.add(key2("10.0.0.1", "192.0.2.1"), packets=25)
+        after.add(key2("172.16.0.1", "192.0.2.1"), packets=4)
+        delta = after.diff(before)
+        assert delta.complementary_counters(key2("10.0.0.1", "192.0.2.1")).packets == 15
+        recovered = apply_diff(before, delta)
+        assert recovered.total_counters() == after.total_counters()
+
+    def test_diff_can_go_negative(self):
+        before = Flowtree(SCHEMA_2F_SRC_DST)
+        after = Flowtree(SCHEMA_2F_SRC_DST)
+        before.add(key2("10.0.0.1", "192.0.2.1"), packets=10)
+        delta = after.diff(before)
+        assert delta.complementary_counters(key2("10.0.0.1", "192.0.2.1")).packets == -10
+
+    def test_prune_zero_nodes_after_diff(self):
+        a = Flowtree(SCHEMA_2F_SRC_DST)
+        a.add(key2("10.0.0.1", "192.0.2.1"), packets=10)
+        delta = a.diff(a)
+        removed = delta.prune_zero_nodes()
+        assert removed >= 1
+        assert delta.total_counters().is_zero
+
+    def test_merge_all_and_diff_chain(self, packet_stream_small):
+        thirds = len(packet_stream_small) // 3
+        trees = [
+            build_tree(packet_stream_small[i * thirds:(i + 1) * thirds], max_nodes=200)
+            for i in range(3)
+        ]
+        merged = merge_all(trees)
+        assert merged.total_counters().packets == thirds * 3
+        deltas = diff_chain(trees)
+        assert len(deltas) == 2
+        rebuilt = reconstruct_from_diffs(trees[0], deltas)
+        assert rebuilt.total_counters() == trees[2].total_counters()
+
+    def test_merge_all_rejects_empty(self):
+        with pytest.raises(SchemaMismatchError):
+            merge_all([])
+
+
+class TestOperatorHelpers:
+    def test_key_union_and_counter_table(self):
+        a = Flowtree(SCHEMA_2F_SRC_DST)
+        b = Flowtree(SCHEMA_2F_SRC_DST)
+        a.add(key2("10.0.0.1", "192.0.2.1"), packets=5)
+        b.add(key2("172.16.0.1", "192.0.2.1"), packets=9)
+        union = key_union([a, b])
+        assert key2("10.0.0.1", "192.0.2.1") in union
+        assert key2("172.16.0.1", "192.0.2.1") in union
+        table = counter_table([a, b])
+        assert table[key2("10.0.0.1", "192.0.2.1")] == [5, 0]
+        assert table[key2("172.16.0.1", "192.0.2.1")] == [0, 9]
+
+    def test_relative_change_orders_by_magnitude(self):
+        before = Flowtree(SCHEMA_2F_SRC_DST)
+        after = Flowtree(SCHEMA_2F_SRC_DST)
+        before.add(key2("10.0.0.1", "192.0.2.1"), packets=100)
+        after.add(key2("10.0.0.1", "192.0.2.1"), packets=100)
+        after.add(key2("172.16.0.1", "192.0.2.1"), packets=500)
+        changes = relative_change(before, after, min_popularity=10)
+        assert changes[0][0] == key2("172.16.0.1", "192.0.2.1")
+        assert changes[0][3] == pytest.approx(500.0)
+
+    def test_summary_distance_bounds(self, packet_stream_small):
+        a = build_tree(packet_stream_small[:1_000], max_nodes=300)
+        b = build_tree(packet_stream_small[:1_000], max_nodes=300)
+        c = build_tree(packet_stream_small[1_000:2_000], max_nodes=300)
+        assert summary_distance(a, b) == pytest.approx(0.0)
+        assert 0.0 < summary_distance(a, c) <= 1.0
+        assert summary_distance(Flowtree(SCHEMA_4F), Flowtree(SCHEMA_4F)) == 0.0
+
+    def test_total_traffic_and_conservation(self, packet_stream_small):
+        tree = build_tree(packet_stream_small, max_nodes=200)
+        expected = Counters(
+            packets=len(packet_stream_small),
+            bytes=sum(p.bytes for p in packet_stream_small),
+            flows=len(packet_stream_small),
+        )
+        assert total_traffic([tree]) == expected.packets
+        assert conservation_error(tree, expected) == {"packets": 0, "bytes": 0, "flows": 0}
+
+    def test_cumulative_counters_match_subtree_sums(self, packet_stream_small):
+        tree = build_tree(packet_stream_small[:2_000], max_nodes=200)
+        cumulative = tree.cumulative_counters()
+        assert set(cumulative) == set(tree.keys())
+        # Spot-check against the per-node subtree computation, including the root.
+        for key in list(tree.keys())[:25]:
+            assert cumulative[key] == tree.subtree_counters(key)
+        root_key = next(key for key in tree.keys() if key.is_root)
+        assert cumulative[root_key] == tree.total_counters()
+
+    def test_find_heavy_hitters(self):
+        tree = Flowtree(SCHEMA_2F_SRC_DST)
+        tree.add(key2("10.0.0.1", "192.0.2.1"), packets=900)
+        tree.add(key2("172.16.0.1", "192.0.2.1"), packets=100)
+        hitters = find_heavy_hitters(tree, threshold_fraction=0.5)
+        keys = [key for key, _ in hitters]
+        assert key2("10.0.0.1", "192.0.2.1") in keys
+        assert key2("172.16.0.1", "192.0.2.1") not in keys
+        limited = find_heavy_hitters(tree, 0.01, max_results=1)
+        assert len(limited) == 1

@@ -1,0 +1,212 @@
+"""Tests for the Flowtree update path, queries and structural invariants."""
+
+import pytest
+
+from conftest import SimpleRecord, key4, make_record
+from repro.core.config import FlowtreeConfig
+from repro.core.errors import QueryError, SchemaMismatchError
+from repro.core.flowtree import Flowtree
+from repro.core.key import FlowKey
+from repro.features.ipaddr import ipv4_to_int
+from repro.features.schema import SCHEMA_1F_SRC, SCHEMA_2F_SRC_DST, SCHEMA_4F
+
+
+class TestUpdatePath:
+    def test_single_record_creates_node(self, empty_tree_4f):
+        record = make_record()
+        empty_tree_4f.add_record(record)
+        key = FlowKey.from_record(SCHEMA_4F, record)
+        assert key in empty_tree_4f
+        assert empty_tree_4f.complementary_counters(key).packets == 1
+        assert empty_tree_4f.node_count() == 2  # root + flow
+
+    def test_repeated_record_increments_in_place(self, empty_tree_4f):
+        record = make_record(packets=3, bytes=300)
+        for _ in range(5):
+            empty_tree_4f.add_record(record)
+        key = FlowKey.from_record(SCHEMA_4F, record)
+        counters = empty_tree_4f.complementary_counters(key)
+        assert counters.packets == 15
+        assert counters.bytes == 1_500
+        assert counters.flows == 5
+        assert empty_tree_4f.node_count() == 2
+        assert empty_tree_4f.stats.inserts == 1
+
+    def test_bytes_ignored_when_disabled(self):
+        tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=100, count_bytes=False))
+        tree.add_record(make_record(bytes=5_000))
+        assert tree.total_counters().bytes == 0
+
+    def test_add_records_returns_count(self, empty_tree_4f):
+        consumed = empty_tree_4f.add_records(make_record(sport=port) for port in range(100, 110))
+        assert consumed == 10
+        assert empty_tree_4f.stats.updates == 10
+
+    def test_add_generalized_key_directly(self, empty_tree_4f):
+        aggregate = key4("10.0.0.0/8", "*", "*", "*")
+        empty_tree_4f.add(aggregate, packets=7)
+        assert aggregate in empty_tree_4f
+        assert empty_tree_4f.estimate(aggregate).value() == 7
+
+    def test_new_specific_node_lands_under_matching_aggregate(self):
+        # Use the reverse-field-order policy, whose canonical chain passes
+        # through (src/8, *, *, *), so the aggregate below is chain-aligned.
+        tree = Flowtree(
+            SCHEMA_4F, FlowtreeConfig(max_nodes=1_000, policy="reverse-field-order")
+        )
+        aggregate = key4("10.0.0.0/8", "*", "*", "*")
+        tree.add(aggregate, packets=5)
+        record = make_record(src="10.9.9.9")
+        tree.add_record(record)
+        flow_key = FlowKey.from_record(SCHEMA_4F, record)
+        node = tree._get_node(flow_key)
+        assert node.parent.key == aggregate
+
+    def test_conservation_of_totals(self, packet_stream_small):
+        tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=256))
+        tree.add_records(packet_stream_small)
+        totals = tree.total_counters()
+        assert totals.packets == len(packet_stream_small)
+        assert totals.bytes == sum(p.bytes for p in packet_stream_small)
+        assert totals.flows == len(packet_stream_small)
+
+    def test_node_budget_enforced(self, packet_stream_small):
+        config = FlowtreeConfig(max_nodes=128)
+        tree = Flowtree(SCHEMA_4F, config)
+        tree.add_records(packet_stream_small)
+        assert len(tree) <= config.max_nodes
+        assert tree.stats.compactions > 0
+        assert tree.stats.folded_nodes > 0
+
+    def test_unbounded_tree_keeps_every_flow(self, packet_stream_small, unbounded_config):
+        tree = Flowtree(SCHEMA_4F, unbounded_config)
+        tree.add_records(packet_stream_small)
+        distinct = len({p.five_tuple for p in packet_stream_small})
+        assert len(tree) == distinct + 1  # + root
+        assert tree.stats.compactions == 0
+
+    def test_structure_remains_valid_under_compaction(self, packet_stream_small):
+        tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=100, victim_batch=16))
+        tree.add_records(packet_stream_small)
+        tree.validate()
+
+    def test_one_feature_schema(self):
+        tree = Flowtree(SCHEMA_1F_SRC, FlowtreeConfig(max_nodes=64))
+        for i in range(500):
+            tree.add_record(SimpleRecord(
+                src_ip=ipv4_to_int("10.0.0.0") + i, dst_ip=0, src_port=0, dst_port=0
+            ))
+        assert len(tree) <= 64
+        total = tree.total_counters()
+        assert total.packets == 500
+        tree.validate()
+
+
+class TestQueries:
+    @pytest.fixture
+    def populated(self):
+        tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=10_000))
+        # Two heavy flows inside 10.0.0.0/8, one light flow elsewhere.
+        tree.add_record(make_record(src="10.1.1.1", dport=443, packets=100, bytes=10_000))
+        tree.add_record(make_record(src="10.1.1.2", dport=443, packets=50, bytes=5_000))
+        tree.add_record(make_record(src="192.0.2.77", dport=80, packets=5, bytes=500))
+        return tree
+
+    def test_exact_node_estimate(self, populated):
+        key = FlowKey.from_record(SCHEMA_4F, make_record(src="10.1.1.1", dport=443))
+        estimate = populated.estimate(key)
+        assert estimate.exact_node
+        assert estimate.value("packets") == 100
+        assert estimate.value("bytes") == 10_000
+
+    def test_aggregate_estimate_sums_descendants(self, populated):
+        aggregate = key4("10.0.0.0/8", "*", "*", "*")
+        estimate = populated.estimate(aggregate)
+        assert estimate.value("packets") == 150
+        assert not estimate.exact_node
+        assert estimate.from_descendants.packets == 150
+
+    def test_root_estimate_counts_everything(self, populated):
+        root = FlowKey.root(SCHEMA_4F)
+        assert populated.estimate(root).value("packets") == 155
+
+    def test_absent_specific_flow_estimates_near_zero(self, populated):
+        missing = FlowKey.from_record(SCHEMA_4F, make_record(src="172.16.0.1", dport=22))
+        estimate = populated.estimate(missing)
+        assert not estimate.exact_node
+        assert estimate.value("packets") <= 1
+
+    def test_off_trajectory_query_scans_all_nodes(self, populated):
+        # dst port /12-style range is not on the round-robin trajectory.
+        odd_key = key4("10.0.0.0/8", "*", "*", "443")
+        estimate = populated.estimate(odd_key)
+        assert estimate.value("packets") == 150
+
+    def test_query_arity_mismatch_raises(self, populated):
+        with pytest.raises(QueryError):
+            populated.estimate(FlowKey.root(SCHEMA_2F_SRC_DST))
+
+    def test_popularity_shortcut(self, populated):
+        assert populated.popularity(key4("10.0.0.0/8", "*", "*", "*")) == 150
+        assert populated.popularity(key4("10.0.0.0/8", "*", "*", "*"), "bytes") == 15_000
+
+    def test_subtree_counters_requires_kept_key(self, populated):
+        with pytest.raises(QueryError):
+            populated.subtree_counters(key4("172.16.0.0/12", "*", "*", "*"))
+
+    def test_top_orders_by_complementary_popularity(self, populated):
+        top = populated.top(2)
+        assert top[0][1] == 100
+        assert top[1][1] == 50
+
+    def test_heavy_keys(self, populated):
+        heavy = populated.heavy_keys(0.5)
+        values = {key.pretty() for key in heavy}
+        # The 100-packet flow (64% of traffic) and the root qualify.
+        assert any("10.1.1.1/32" in value for value in values)
+        assert FlowKey.root(SCHEMA_4F) in heavy
+
+    def test_heavy_keys_threshold_validation(self, populated):
+        with pytest.raises(QueryError):
+            populated.heavy_keys(0.0)
+
+    def test_heavy_keys_empty_tree(self, empty_tree_4f):
+        assert empty_tree_4f.heavy_keys(0.1) == []
+
+
+class TestCopyValidateRepr:
+    def test_copy_is_deep(self, packet_stream_small):
+        tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=200))
+        tree.add_records(packet_stream_small[:1_000])
+        clone = tree.copy()
+        assert clone.total_counters() == tree.total_counters()
+        assert len(clone) == len(tree)
+        # Mutating the clone leaves the original untouched.
+        clone.add_record(make_record())
+        assert clone.total_counters().packets == tree.total_counters().packets + 1
+
+    def test_validate_detects_corruption(self, empty_tree_4f):
+        empty_tree_4f.add_record(make_record())
+        key = FlowKey.from_record(SCHEMA_4F, make_record())
+        node = empty_tree_4f._get_node(key)
+        node.parent = None  # corrupt the parent link
+        with pytest.raises(QueryError):
+            empty_tree_4f.validate()
+
+    def test_root_cannot_be_removed(self, empty_tree_4f):
+        with pytest.raises(QueryError):
+            empty_tree_4f._remove_node(empty_tree_4f.root)
+
+    def test_repr(self, empty_tree_4f):
+        empty_tree_4f.add_record(make_record())
+        text = repr(empty_tree_4f)
+        assert "4f" in text and "nodes=2" in text
+
+    def test_merge_rejects_schema_mismatch(self, empty_tree_4f):
+        other = Flowtree(SCHEMA_2F_SRC_DST)
+        with pytest.raises(SchemaMismatchError):
+            empty_tree_4f.merge(other)
+
+    def test_merge_rejects_non_flowtree(self, empty_tree_4f):
+        with pytest.raises(SchemaMismatchError):
+            empty_tree_4f.merge({"not": "a tree"})

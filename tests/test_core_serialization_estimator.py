@@ -1,0 +1,191 @@
+"""Tests for summary serialization and the query-helper layer."""
+
+import pytest
+
+from conftest import key2, key4, make_record
+from repro.core.config import FlowtreeConfig
+from repro.core.errors import SerializationError
+from repro.core.estimator import (
+    children_of,
+    coverage,
+    decompose,
+    drill_down,
+    estimate_many,
+    estimate_values,
+)
+from repro.core.flowtree import Flowtree
+from repro.core.key import FlowKey
+from repro.core.serialization import (
+    decode_varint,
+    decode_zigzag,
+    encode_varint,
+    encode_zigzag,
+    from_bytes,
+    from_json,
+    size_report,
+    to_bytes,
+    to_json,
+)
+from repro.features.schema import SCHEMA_2F_SRC_DST, SCHEMA_4F
+
+
+class TestVarints:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2 ** 21, 2 ** 40, 2 ** 63])
+    def test_unsigned_round_trip(self, value):
+        buffer = bytearray()
+        encode_varint(value, buffer)
+        decoded, offset = decode_varint(bytes(buffer), 0)
+        assert decoded == value
+        assert offset == len(buffer)
+
+    @pytest.mark.parametrize("value", [0, 1, -1, 2, -2, 12345, -98765, 2 ** 40, -(2 ** 40)])
+    def test_signed_round_trip(self, value):
+        buffer = bytearray()
+        encode_zigzag(value, buffer)
+        decoded, _ = decode_zigzag(bytes(buffer), 0)
+        assert decoded == value
+
+    def test_negative_unsigned_rejected(self):
+        with pytest.raises(SerializationError):
+            encode_varint(-1, bytearray())
+
+    def test_truncated_varint(self):
+        with pytest.raises(SerializationError):
+            decode_varint(b"\x80", 0)
+
+
+class TestBinaryFormat:
+    @pytest.fixture
+    def tree(self, packet_stream_small):
+        tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=300))
+        tree.add_records(packet_stream_small)
+        return tree
+
+    def test_round_trip_preserves_everything(self, tree):
+        decoded = from_bytes(to_bytes(tree))
+        assert decoded.schema == tree.schema
+        assert decoded.config.policy == tree.config.policy
+        assert decoded.config.max_nodes == tree.config.max_nodes
+        assert len(decoded) == len(tree)
+        assert decoded.total_counters() == tree.total_counters()
+        for key, counters in tree.items():
+            assert decoded.complementary_counters(key) == counters
+        decoded.validate()
+
+    def test_uncompressed_round_trip(self, tree):
+        decoded = from_bytes(to_bytes(tree, compress=False))
+        assert decoded.total_counters() == tree.total_counters()
+
+    def test_compression_helps(self, tree):
+        assert len(to_bytes(tree, compress=True)) < len(to_bytes(tree, compress=False))
+
+    def test_diff_with_negative_counters_round_trips(self):
+        a = Flowtree(SCHEMA_2F_SRC_DST)
+        b = Flowtree(SCHEMA_2F_SRC_DST)
+        a.add(key2("10.0.0.1", "192.0.2.1"), packets=10)
+        delta = b.diff(a)
+        decoded = from_bytes(to_bytes(delta))
+        assert decoded.complementary_counters(key2("10.0.0.1", "192.0.2.1")).packets == -10
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(SerializationError):
+            from_bytes(b"NOPE" + b"\x00" * 16)
+
+    def test_truncated_payload_rejected(self, tree):
+        payload = to_bytes(tree)
+        with pytest.raises(SerializationError):
+            from_bytes(payload[:-10])
+
+    def test_empty_tree_round_trip(self):
+        tree = Flowtree(SCHEMA_2F_SRC_DST)
+        decoded = from_bytes(to_bytes(tree))
+        assert len(decoded) == 1
+        assert decoded.total_counters().is_zero
+
+    def test_size_report_keys(self, tree):
+        report = size_report(tree)
+        assert set(report) == {"nodes", "binary_bytes", "binary_compressed_bytes", "json_bytes"}
+        assert report["nodes"] == len(tree)
+        assert report["binary_compressed_bytes"] <= report["binary_bytes"]
+
+
+class TestJsonFormat:
+    def test_round_trip(self, packet_stream_small):
+        tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=200))
+        tree.add_records(packet_stream_small[:1_000])
+        decoded = from_json(to_json(tree))
+        assert decoded.total_counters() == tree.total_counters()
+        assert len(decoded) == len(tree)
+
+    def test_rejects_non_flowtree_json(self):
+        with pytest.raises(SerializationError):
+            from_json('{"format": "something-else"}')
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(SerializationError):
+            from_json("{not json")
+
+    def test_indentation_option(self):
+        tree = Flowtree(SCHEMA_2F_SRC_DST)
+        tree.add(key2("10.0.0.1", "192.0.2.1"))
+        assert "\n" in to_json(tree, indent=2)
+
+
+class TestEstimatorHelpers:
+    @pytest.fixture
+    def tree(self):
+        tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=10_000))
+        tree.add_record(make_record(src="10.1.1.1", dport=443, packets=60))
+        tree.add_record(make_record(src="10.1.2.1", dport=443, packets=30))
+        tree.add_record(make_record(src="10.9.0.1", dport=80, packets=10))
+        tree.add_record(make_record(src="192.0.2.1", dport=22, packets=5))
+        return tree
+
+    def test_estimate_many_and_values(self, tree):
+        keys = [key4("10.0.0.0/8", "*", "*", "*"), key4("192.0.2.0/24", "*", "*", "*")]
+        estimates = estimate_many(tree, keys)
+        assert estimates[keys[0]].value() == 100
+        values = estimate_values(tree, keys)
+        assert values[keys[1]] == 5
+
+    def test_decompose_sums_to_estimate(self, tree):
+        query = key4("10.0.0.0/8", "*", "*", "*")
+        terms = decompose(tree, query)
+        assert sum(term.value for term in terms) == tree.estimate(query).value()
+        assert all(term.kind in ("node", "residual") for term in terms)
+
+    def test_decompose_kept_node(self, tree):
+        key = FlowKey.from_record(SCHEMA_4F, make_record(src="10.1.1.1", dport=443))
+        terms = decompose(tree, key)
+        assert len(terms) == 1
+        assert terms[0].kind == "node"
+        assert terms[0].value == 60
+
+    def test_children_of_breaks_down_by_feature(self, tree):
+        breakdown = children_of(tree, key4("10.0.0.0/8", "*", "*", "*"), feature_index=0, step=8)
+        rendered = {key.pretty(): value for key, value in breakdown}
+        assert any("10.1.0.0/16" in name for name in rendered)
+        assert sum(rendered.values()) == 100
+
+    def test_children_of_bad_index(self, tree):
+        from repro.core.errors import QueryError
+
+        with pytest.raises(QueryError):
+            children_of(tree, key4("*", "*", "*", "*"), feature_index=9)
+
+    def test_drill_down_follows_dominant_branch(self, tree):
+        path = drill_down(tree, key4("*", "*", "*", "*"), feature_index=0, step=8, dominance=0.5)
+        assert path, "expected at least one drill-down step"
+        assert path[0].key[0].to_wire() == "10.0.0.0/8"
+        # Shares are within (0, 1].
+        assert all(0 < step.share_of_parent <= 1 for step in path)
+
+    def test_drill_down_stops_when_nothing_dominates(self, tree):
+        path = drill_down(tree, key4("*", "*", "*", "*"), feature_index=0, step=8, dominance=0.99)
+        assert path == []
+
+    def test_coverage(self, tree):
+        kept = FlowKey.from_record(SCHEMA_4F, make_record(src="10.1.1.1", dport=443))
+        missing = FlowKey.from_record(SCHEMA_4F, make_record(src="1.2.3.4", dport=9999))
+        assert coverage(tree, [kept, missing]) == 0.5
+        assert coverage(tree, []) == 0.0

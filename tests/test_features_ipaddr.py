@@ -1,0 +1,193 @@
+"""Tests for IPv4/IPv6 prefix features."""
+
+import pytest
+
+from repro.features.base import FeatureError, ParseError
+from repro.features.ipaddr import (
+    IPv4Prefix,
+    IPv6Prefix,
+    int_to_ipv4,
+    int_to_ipv6,
+    ipv4_to_int,
+    ipv6_to_int,
+    parse_prefix,
+)
+
+
+class TestIPv4TextConversion:
+    def test_round_trip_basic(self):
+        assert int_to_ipv4(ipv4_to_int("192.168.1.1")) == "192.168.1.1"
+
+    def test_zero_and_broadcast(self):
+        assert ipv4_to_int("0.0.0.0") == 0
+        assert ipv4_to_int("255.255.255.255") == 0xFFFFFFFF
+
+    def test_rejects_octet_overflow(self):
+        with pytest.raises(ParseError):
+            ipv4_to_int("1.2.3.256")
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(ParseError):
+            ipv4_to_int("1.2.3")
+
+    def test_rejects_leading_zeros(self):
+        with pytest.raises(ParseError):
+            ipv4_to_int("01.2.3.4")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ParseError):
+            ipv4_to_int("a.b.c.d")
+
+
+class TestIPv6TextConversion:
+    def test_round_trip_compressed(self):
+        value = ipv6_to_int("2001:db8::1")
+        assert int_to_ipv6(value) == "2001:db8::1"
+
+    def test_full_form(self):
+        assert ipv6_to_int("0:0:0:0:0:0:0:1") == 1
+
+    def test_embedded_ipv4(self):
+        assert ipv6_to_int("::ffff:192.0.2.1") == (0xFFFF << 32) | ipv4_to_int("192.0.2.1")
+
+    def test_rejects_double_compression(self):
+        with pytest.raises(ParseError):
+            ipv6_to_int("2001::db8::1")
+
+    def test_rejects_too_many_groups(self):
+        with pytest.raises(ParseError):
+            ipv6_to_int("1:2:3:4:5:6:7:8:9")
+
+
+class TestIPv4Prefix:
+    def test_host_prefix_properties(self):
+        prefix = IPv4Prefix.host("10.1.2.3")
+        assert prefix.length == 32
+        assert prefix.is_host
+        assert not prefix.is_root
+        assert prefix.cardinality == 1
+        assert prefix.specificity == 32
+
+    def test_rejects_host_bits_set(self):
+        with pytest.raises(FeatureError):
+            IPv4Prefix(ipv4_to_int("10.0.0.1"), 24)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(FeatureError):
+            IPv4Prefix(0, 33)
+
+    def test_generalize_one_step(self):
+        prefix = IPv4Prefix(ipv4_to_int("10.0.0.0"), 24)
+        assert prefix.generalize().to_wire() == "10.0.0.0/23"
+
+    def test_generalize_clamps_at_root(self):
+        root = IPv4Prefix.root()
+        assert root.generalize() == root
+
+    def test_generalize_to(self):
+        prefix = IPv4Prefix.host("10.1.2.3")
+        assert prefix.generalize_to(8).to_wire() == "10.0.0.0/8"
+
+    def test_generalize_to_rejects_specialization(self):
+        with pytest.raises(FeatureError):
+            IPv4Prefix(ipv4_to_int("10.0.0.0"), 8).generalize_to(16)
+
+    def test_contains_nested_prefixes(self):
+        outer = IPv4Prefix(ipv4_to_int("10.0.0.0"), 8)
+        inner = IPv4Prefix(ipv4_to_int("10.99.0.0"), 16)
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_contains_is_reflexive(self):
+        prefix = IPv4Prefix(ipv4_to_int("172.16.0.0"), 12)
+        assert prefix.contains(prefix)
+
+    def test_contains_rejects_other_types(self):
+        assert not IPv4Prefix.root().contains(IPv6Prefix.root())
+
+    def test_contains_address(self):
+        prefix = IPv4Prefix(ipv4_to_int("192.0.2.0"), 24)
+        assert prefix.contains_address(ipv4_to_int("192.0.2.200"))
+        assert not prefix.contains_address(ipv4_to_int("192.0.3.1"))
+
+    def test_first_last_address(self):
+        prefix = IPv4Prefix(ipv4_to_int("192.0.2.0"), 24)
+        assert int_to_ipv4(prefix.first_address) == "192.0.2.0"
+        assert int_to_ipv4(prefix.last_address) == "192.0.2.255"
+
+    def test_child_left_and_right(self):
+        prefix = IPv4Prefix(ipv4_to_int("192.0.2.0"), 24)
+        assert prefix.child(0).to_wire() == "192.0.2.0/25"
+        assert prefix.child(1).to_wire() == "192.0.2.128/25"
+
+    def test_child_of_host_raises(self):
+        with pytest.raises(FeatureError):
+            IPv4Prefix.host("1.1.1.1").child(0)
+
+    def test_subnets_enumeration(self):
+        prefix = IPv4Prefix(ipv4_to_int("10.0.0.0"), 30)
+        hosts = list(prefix.subnets(32))
+        assert len(hosts) == 4
+        assert hosts[0].to_wire() == "10.0.0.0/32"
+        assert hosts[-1].to_wire() == "10.0.0.3/32"
+
+    def test_common_ancestor(self):
+        a = IPv4Prefix.host("10.0.0.1")
+        b = IPv4Prefix.host("10.0.0.2")
+        ancestor = a.common_ancestor(b)
+        assert ancestor.contains(a) and ancestor.contains(b)
+        assert ancestor.length == 30
+
+    def test_ancestors_end_at_root(self):
+        chain = list(IPv4Prefix(ipv4_to_int("10.0.0.0"), 8).ancestors())
+        assert len(chain) == 8
+        assert chain[-1].is_root
+
+    def test_equality_and_hash(self):
+        a = IPv4Prefix(ipv4_to_int("10.0.0.0"), 8)
+        b = IPv4Prefix(ipv4_to_int("10.0.0.0"), 8)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != IPv4Prefix(ipv4_to_int("11.0.0.0"), 8)
+
+    def test_wire_round_trip(self):
+        prefix = IPv4Prefix(ipv4_to_int("203.0.112.0"), 22)
+        assert IPv4Prefix.from_wire(prefix.to_wire()) == prefix
+
+    def test_repr_and_str(self):
+        prefix = IPv4Prefix(ipv4_to_int("10.0.0.0"), 8)
+        assert "10.0.0.0/8" in repr(prefix)
+        assert str(prefix) == "10.0.0.0/8"
+
+
+class TestParsePrefix:
+    def test_bare_address_becomes_host(self):
+        assert parse_prefix("10.0.0.1").length == 32
+
+    def test_wildcard_becomes_root(self):
+        assert parse_prefix("*").is_root
+
+    def test_masks_host_bits_when_parsing(self):
+        assert parse_prefix("10.0.0.1/24").to_wire() == "10.0.0.0/24"
+
+    def test_ipv6_autodetection(self):
+        prefix = parse_prefix("2001:db8::/32")
+        assert isinstance(prefix, IPv6Prefix)
+        assert prefix.length == 32
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ParseError):
+            parse_prefix("10.0.0.0/abc")
+
+
+class TestIPv6Prefix:
+    def test_width_and_cardinality(self):
+        prefix = IPv6Prefix(ipv6_to_int("2001:db8::") >> 96 << 96, 32)
+        assert prefix.width == 128
+        assert prefix.cardinality == 1 << 96
+
+    def test_generalize_and_contains(self):
+        host = IPv6Prefix.host("2001:db8::1")
+        parent = host.generalize_to(64)
+        assert parent.contains(host)
+        assert parent.length == 64

@@ -1,0 +1,213 @@
+"""Property-based tests (hypothesis) for the core data structures.
+
+These check the algebraic invariants the paper's operators rely on:
+conservation of counts under update/compaction, merge/diff consistency,
+serialization round-trips, and the prefix/port-range hierarchy laws —
+over randomly generated inputs rather than hand-picked cases.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FlowtreeConfig
+from repro.core.flowtree import Flowtree
+from repro.core.key import FlowKey
+from repro.core.policy import ChainBuilder, get_policy
+from repro.core.serialization import from_bytes, to_bytes
+from repro.features.ipaddr import IPv4Prefix
+from repro.features.ports import PORT_BITS, PortRange
+from repro.features.protocol import Protocol
+from repro.features.schema import SCHEMA_2F_SRC_DST, SCHEMA_4F
+
+# -- strategies -----------------------------------------------------------------------
+
+addresses = st.integers(min_value=0, max_value=(1 << 32) - 1)
+prefix_lengths = st.integers(min_value=0, max_value=32)
+ports = st.integers(min_value=0, max_value=65535)
+port_prefix_lengths = st.integers(min_value=0, max_value=PORT_BITS)
+
+
+@st.composite
+def ipv4_prefixes(draw):
+    address = draw(addresses)
+    length = draw(prefix_lengths)
+    shift = 32 - length
+    return IPv4Prefix((address >> shift) << shift if length else 0, length)
+
+
+@st.composite
+def port_ranges(draw):
+    base = draw(ports)
+    length = draw(port_prefix_lengths)
+    shift = PORT_BITS - length
+    return PortRange((base >> shift) << shift if length else 0, length)
+
+
+@st.composite
+def flow_keys_2f(draw):
+    return FlowKey((draw(ipv4_prefixes()), draw(ipv4_prefixes())))
+
+
+@st.composite
+def specific_records(draw):
+    class Record:
+        src_ip = draw(addresses)
+        dst_ip = draw(addresses)
+        src_port = draw(ports)
+        dst_port = draw(ports)
+        protocol = draw(st.sampled_from([1, 6, 17]))
+        packets = draw(st.integers(min_value=1, max_value=50))
+        bytes = draw(st.integers(min_value=0, max_value=100_000))
+
+    return Record()
+
+
+record_batches = st.lists(specific_records(), min_size=1, max_size=120)
+
+relaxed = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+# -- feature hierarchy laws --------------------------------------------------------------
+
+
+@given(prefix=ipv4_prefixes())
+@relaxed
+def test_prefix_generalize_preserves_containment(prefix):
+    parent = prefix.generalize()
+    assert parent.contains(prefix)
+    assert parent.specificity <= prefix.specificity
+    assert parent.cardinality >= prefix.cardinality
+
+
+@given(prefix=ipv4_prefixes())
+@relaxed
+def test_prefix_wire_round_trip(prefix):
+    assert IPv4Prefix.from_wire(prefix.to_wire()) == prefix
+
+
+@given(a=ipv4_prefixes(), b=ipv4_prefixes())
+@relaxed
+def test_prefix_common_ancestor_contains_both(a, b):
+    ancestor = a.common_ancestor(b)
+    assert ancestor.contains(a)
+    assert ancestor.contains(b)
+
+
+@given(port_range=port_ranges())
+@relaxed
+def test_port_range_hierarchy_laws(port_range):
+    parent = port_range.generalize()
+    assert parent.contains(port_range)
+    assert PortRange.from_wire(port_range.to_wire()) == port_range
+    assert port_range.low <= port_range.high
+    assert port_range.cardinality == port_range.high - port_range.low + 1
+
+
+@given(a=ipv4_prefixes(), b=ipv4_prefixes())
+@relaxed
+def test_containment_is_antisymmetric_up_to_equality(a, b):
+    if a.contains(b) and b.contains(a):
+        assert a == b
+
+
+# -- canonical chain laws -------------------------------------------------------------------
+
+
+@given(key=flow_keys_2f(), policy_name=st.sampled_from(["round-robin", "field-order",
+                                                        "reverse-field-order"]))
+@relaxed
+def test_chain_is_monotone_and_terminates(key, policy_name):
+    builder = ChainBuilder.for_schema(SCHEMA_2F_SRC_DST, get_policy(policy_name), 4, 4)
+    previous = key
+    steps = 0
+    for ancestor in builder.chain(key):
+        assert ancestor.contains(previous)
+        assert ancestor.specificity < previous.specificity
+        previous = ancestor
+        steps += 1
+        assert steps <= 64
+    assert previous.is_root or key.is_root
+
+
+# -- Flowtree invariants -----------------------------------------------------------------------
+
+
+@given(records=record_batches)
+@relaxed
+def test_flowtree_conserves_totals_and_respects_budget(records):
+    tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=32, victim_batch=8))
+    for record in records:
+        tree.add_record(record)
+    totals = tree.total_counters()
+    assert totals.packets == sum(r.packets for r in records)
+    assert totals.bytes == sum(r.bytes for r in records)
+    assert totals.flows == len(records)
+    assert len(tree) <= 32
+    tree.validate()
+
+
+@given(records=record_batches)
+@relaxed
+def test_flowtree_root_estimate_equals_total(records):
+    tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=64))
+    for record in records:
+        tree.add_record(record)
+    assert tree.estimate(FlowKey.root(SCHEMA_4F)).value("packets") == sum(
+        r.packets for r in records
+    )
+
+
+@given(records=record_batches)
+@relaxed
+def test_serialization_round_trip_property(records):
+    tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=48))
+    for record in records:
+        tree.add_record(record)
+    decoded = from_bytes(to_bytes(tree))
+    assert decoded.total_counters() == tree.total_counters()
+    assert set(decoded.keys()) == set(tree.keys())
+
+
+@given(first=record_batches, second=record_batches)
+@relaxed
+def test_merge_totals_are_additive(first, second):
+    a = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=48))
+    b = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=48))
+    for record in first:
+        a.add_record(record)
+    for record in second:
+        b.add_record(record)
+    merged = a.merged(b)
+    assert merged.total_counters().packets == (
+        a.total_counters().packets + b.total_counters().packets
+    )
+    assert len(merged) <= 48
+    merged.validate()
+
+
+@given(first=record_batches, second=record_batches)
+@relaxed
+def test_diff_then_merge_restores_totals(first, second):
+    a = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=None))
+    b = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=None))
+    for record in first:
+        a.add_record(record)
+    for record in second:
+        b.add_record(record)
+    delta = b.diff(a)
+    restored = a.merged(delta)
+    assert restored.total_counters() == b.total_counters()
+
+
+@given(records=record_batches)
+@relaxed
+def test_estimates_are_never_negative_for_fresh_trees(records):
+    tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=32))
+    for record in records:
+        tree.add_record(record)
+    for key in list(tree.keys())[:20]:
+        assert tree.estimate(key).value("packets") >= 0
