@@ -1,61 +1,17 @@
-"""Shared workloads and helpers for the benchmark harness.
+"""Fixtures and pytest hooks for the benchmark harness.
 
-Every benchmark regenerates one of the paper's figures, tables or headline
-claims (see DESIGN.md §3).  The workloads are scaled-down versions of the
-paper's captures — the paper summarizes 6 M-packet traces into 40 k nodes;
-we keep the same *node-budget-to-traffic ratio* at a size a laptop-class
-pure-Python run finishes in minutes (the scale factor is printed with every
-result and recorded in EXPERIMENTS.md).
+The workload builders, scale constants and table helpers live in
+``benchmarks/workloads.py``; benchmark modules import them explicitly so
+nothing depends on the top-level ``conftest`` module name resolution order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
-
 import pytest
 
-from repro.baselines import ExactAggregator
-from repro.core import Flowtree, FlowtreeConfig
-from repro.features.schema import SCHEMA_2F_SRC_DST, SCHEMA_4F
+from workloads import BENCH_NODES, BENCH_PACKETS, build_workload
+
 from repro.traces import CaidaLikeTraceGenerator, MawiLikeTraceGenerator
-
-# Paper scale: 6 M packets summarized into 40 k nodes.
-PAPER_PACKETS = 6_000_000
-PAPER_NODES = 40_000
-
-# Benchmark scale (same nodes/packets ratio, laptop-sized).
-BENCH_PACKETS = 180_000
-BENCH_NODES = max(1_000, int(PAPER_NODES * BENCH_PACKETS / PAPER_PACKETS * 4))
-#: The factor 4 above compensates for the smaller trace having relatively
-#: fewer repeated flows; it keeps the kept-fraction of distinct flows in the
-#: same regime as the paper's configuration.
-
-
-@dataclass
-class Workload:
-    """A packet trace plus the Flowtree and exact ground truth built over it."""
-
-    name: str
-    packets: List
-    tree: Flowtree
-    truth: ExactAggregator
-
-    @property
-    def packet_count(self) -> int:
-        return len(self.packets)
-
-
-def build_workload(name: str, generator, packet_count: int, node_budget: int,
-                   schema=SCHEMA_4F, policy: str = "round-robin") -> Workload:
-    """Generate a trace and build both the summary and the ground truth."""
-    packets = list(generator.packets(packet_count))
-    tree = Flowtree(schema, FlowtreeConfig(max_nodes=node_budget, policy=policy))
-    truth = ExactAggregator(schema)
-    for packet in packets:
-        tree.add_record(packet)
-        truth.add_record(packet)
-    return Workload(name=name, packets=packets, tree=tree, truth=truth)
 
 
 @pytest.fixture(scope="session")
@@ -103,13 +59,3 @@ def pytest_terminal_summary(terminalreporter):
     for nodeid, text in _EXPERIMENT_REPORTS:
         terminalreporter.write_line(f"----- {nodeid} -----")
         terminalreporter.write_line(text)
-
-
-def print_header(experiment_id: str, description: str) -> None:
-    """Banner printed before each experiment's table."""
-    print("\n")
-    print("=" * 78)
-    print(f"{experiment_id}: {description}")
-    print(f"scale: {BENCH_PACKETS:,} packets, {BENCH_NODES:,}-node budget "
-          f"(paper: {PAPER_PACKETS:,} packets, {PAPER_NODES:,} nodes)")
-    print("=" * 78)

@@ -14,7 +14,7 @@ these benchmarks sweep the two knobs the reproduction exposes:
 
 import pytest
 
-from conftest import BENCH_NODES, print_header
+from workloads import BENCH_NODES, print_header
 from repro.analysis import AccuracyEvaluator, heavy_hitter_report, render_table
 from repro.baselines import ExactAggregator
 from repro.core import Flowtree, FlowtreeConfig, FlowKey

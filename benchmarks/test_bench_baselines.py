@@ -21,7 +21,7 @@ flat summaries miss, within one shared node budget.
 
 import pytest
 
-from conftest import print_header
+from workloads import print_header
 from repro.analysis import render_table
 from repro.baselines import (
     ExactAggregator,

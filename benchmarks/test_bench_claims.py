@@ -11,7 +11,7 @@ regenerated directly from the output.
 
 import pytest
 
-from conftest import print_header
+from workloads import print_header
 from repro.analysis import (
     AccuracyEvaluator,
     comparison_line,

@@ -9,9 +9,11 @@
   peer, all executed over summaries only.
 """
 
+import time
+
 import pytest
 
-from conftest import print_header
+from workloads import print_header
 from repro.analysis import comparison_line, format_bytes, render_table
 from repro.analysis.storage import transfer_report
 from repro.core import Flowtree, FlowtreeConfig
@@ -56,6 +58,62 @@ def test_claim_diff_transfer_reduction(benchmark, caida_workload):
     assert report.full_bytes < report.raw_netflow_bytes
     assert report.diff_bytes <= report.full_bytes
     assert report.reduction_vs_raw > 0.5
+
+
+@pytest.mark.benchmark(group="distributed")
+def test_batched_site_replay(benchmark):
+    """Site replay through the daemons' batched ingestion path vs per-record.
+
+    The deployment replay is where the paper's many-sites story meets the
+    ingest rate: every site daemon now buffers same-bin records and charges
+    them through ``Flowtree.add_batch``.  Both paths must account for every
+    packet and export the same number of bins; the batched one should not
+    be slower.
+    """
+    sites = ["site-1", "site-2", "site-3"]
+    packets_per_site = 30_000
+    traffic = {
+        site: list(EnterpriseTraceGenerator(
+            site_prefix=f"100.{80 + index}.0.0", seed=700 + index,
+            customer_count=800, flows_per_customer=12,
+        ).packets(packets_per_site))
+        for index, site in enumerate(sites)
+    }
+
+    def replay(batch_size):
+        deployment = Deployment(
+            SCHEMA_2F_SRC_DST, sites, bin_width=300.0,
+            daemon_config=FlowtreeConfig(max_nodes=4_000), use_diffs=True,
+        )
+        for site in sites:
+            deployment.attach_records(site, traffic[site])
+            deployment.site(site).batch_size = batch_size
+        start = time.perf_counter()
+        consumed = deployment.run(scan_alerts=False)
+        elapsed = time.perf_counter() - start
+        total = sum(consumed.values())
+        bins = sum(deployment.daemon(site).stats.bins_exported for site in sites)
+        return total, bins, total / elapsed
+
+    def run():
+        per_record = replay(batch_size=0)
+        batched = replay(batch_size=8_192)
+        return per_record, batched
+
+    (loop_total, loop_bins, loop_rate), (batch_total, batch_bins, batch_rate) = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+    print_header("CLAIM-BATCH-REPLAY", "deployment replay: batched vs per-record daemons")
+    print(render_table([
+        {"replay": "per-record daemons", "records_per_second": int(loop_rate),
+         "bins_exported": loop_bins},
+        {"replay": "batched daemons", "records_per_second": int(batch_rate),
+         "bins_exported": batch_bins},
+    ]))
+    assert loop_total == batch_total == packets_per_site * len(sites)
+    assert loop_bins == batch_bins
+    # Batching must never cost replay throughput.
+    assert batch_rate >= loop_rate * 0.9
 
 
 @pytest.mark.benchmark(group="distributed")

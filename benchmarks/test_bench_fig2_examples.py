@@ -15,7 +15,7 @@ popularity decomposes exactly as in the figure.
 
 import pytest
 
-from conftest import print_header
+from workloads import print_header
 from repro.analysis import render_table
 from repro.core import Flowtree, FlowtreeConfig, FlowKey
 from repro.features.ipaddr import IPv4Prefix, ipv4_to_int

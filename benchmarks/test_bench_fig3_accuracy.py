@@ -14,7 +14,7 @@ table, the diagonal fraction and an ASCII rendering of the 2-D histogram.
 
 import pytest
 
-from conftest import print_header
+from workloads import print_header
 from repro.analysis import AccuracyEvaluator, comparison_line, render_table
 
 

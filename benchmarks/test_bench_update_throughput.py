@@ -18,10 +18,10 @@ import time
 
 import pytest
 
-from conftest import print_header
+from workloads import print_header
 from repro.analysis import render_table
 from repro.baselines import FullUpdateHHH, RandomizedHHH, SpaceSavingSummary
-from repro.core import Flowtree, FlowtreeConfig
+from repro.core import Flowtree, FlowtreeConfig, ShardedFlowtree
 from repro.features.schema import SCHEMA_4F
 from repro.traces import CaidaLikeTraceGenerator
 
@@ -86,12 +86,69 @@ def test_claim_update_cost_independent_of_budget(benchmark):
     print_header("CLAIM-UPDATE (b)", "update throughput vs node budget")
     print(render_table(rows))
     rates = [row["updates_per_second"] for row in rows]
-    # The per-update cost must grow far slower than the budget: a 16x larger
-    # tree may cost a small constant factor (more distinct nodes get individual
-    # inserts), never a proportional one.
-    budget_growth = 16_000 / 1_000
-    cost_growth = max(rates) / min(rates)
-    assert cost_growth < budget_growth / 2
+    # The paper's claim is directional: a larger tree must not make updates
+    # slower.  (Larger budgets getting *faster* is fine — the tree compacts
+    # less often — so the bound is one-sided.)
+    assert rates[-1] > rates[0] * 0.5, (
+        f"16x larger budget degraded updates from {rates[0]}/s to {rates[-1]}/s"
+    )
+    # And mid-sized budgets must not be pathological outliers.
+    assert min(rates) > max(rates[0], 1) * 0.4
+
+
+@pytest.mark.benchmark(group="update-throughput")
+def test_batched_ingestion_speedup(benchmark):
+    """CLAIM-BATCH: batched ingestion sustains >= 2x the per-record rate.
+
+    The workload keeps the paper's regime — the distinct-flow working set
+    fits the node budget (40 k nodes for 6 M packets) — scaled down: ~4 k
+    flows, 120 k packets, an 8 k-node budget.  ``add_batch`` pre-aggregates
+    duplicates per batch, builds one key per distinct flow and amortizes
+    the compaction check, which is where the speedup comes from.
+    """
+    generator = CaidaLikeTraceGenerator(seed=102, flow_population=4_000)
+    packets = list(generator.packets(120_000))
+    budget = 8_000
+
+    def run():
+        loop_tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=budget))
+        start = time.perf_counter()
+        loop_tree.add_records(packets)
+        loop_rate = len(packets) / (time.perf_counter() - start)
+
+        batch_tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=budget))
+        start = time.perf_counter()
+        batch_tree.add_batch(packets)
+        batch_rate = len(packets) / (time.perf_counter() - start)
+
+        sharded = ShardedFlowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=budget), num_shards=4)
+        start = time.perf_counter()
+        sharded.add_batch(packets)
+        sharded_rate = len(packets) / (time.perf_counter() - start)
+        return loop_tree, batch_tree, sharded, loop_rate, batch_rate, sharded_rate
+
+    loop_tree, batch_tree, sharded, loop_rate, batch_rate, sharded_rate = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+    print_header("CLAIM-BATCH", "batched + sharded ingestion vs the per-record loop")
+    print(render_table([
+        {"ingestion": "per-record add_records", "updates_per_second": int(loop_rate),
+         "speedup": "1.00x"},
+        {"ingestion": "batched add_batch", "updates_per_second": int(batch_rate),
+         "speedup": f"{batch_rate / loop_rate:.2f}x"},
+        {"ingestion": "sharded (4) add_batch", "updates_per_second": int(sharded_rate),
+         "speedup": f"{sharded_rate / loop_rate:.2f}x"},
+    ]))
+    # All three paths account for every packet.
+    assert batch_tree.total_counters() == loop_tree.total_counters()
+    assert sharded.total_counters() == loop_tree.total_counters()
+    # The tentpole claim: batching buys at least 2x ingest throughput.
+    assert batch_rate >= 2.0 * loop_rate, (
+        f"batched ingestion only reached {batch_rate / loop_rate:.2f}x "
+        f"({int(batch_rate)}/s vs {int(loop_rate)}/s)"
+    )
+    # Sharding adds partitioning overhead but must not lose the batching win.
+    assert sharded_rate >= loop_rate
 
 
 @pytest.mark.benchmark(group="update-throughput")

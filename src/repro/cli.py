@@ -30,6 +30,7 @@ from repro.core.config import FlowtreeConfig
 from repro.core.flowtree import Flowtree
 from repro.core.key import FlowKey
 from repro.core.serialization import from_bytes, size_report, to_bytes
+from repro.core.sharded import ShardedFlowtree
 from repro.features.schema import schema_by_name
 from repro.flows.csv_io import read_csv, write_csv
 from repro.flows.pcap import read_pcap, write_pcap
@@ -69,6 +70,11 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--max-nodes", type=int, default=40_000)
     build.add_argument("--policy", default="round-robin")
     build.add_argument("--input-format", choices=("csv", "pcap"), default="csv")
+    build.add_argument("--batch-size", type=int, default=16_384,
+                       help="records pre-aggregated per ingestion batch (0 = per-record)")
+    build.add_argument("--shards", type=int, default=1,
+                       help="hash-partition ingestion across N shard trees, "
+                            "merged into one summary before writing")
     build.add_argument("input", type=Path)
     build.add_argument("output", type=Path)
 
@@ -119,15 +125,30 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_build(args: argparse.Namespace) -> int:
     schema = schema_by_name(args.schema)
     config = FlowtreeConfig(max_nodes=args.max_nodes, policy=args.policy)
-    tree = Flowtree(schema, config)
+    if args.shards < 1:
+        raise ValueError(f"--shards must be at least 1, got {args.shards}")
     if args.input_format == "pcap":
         records = read_pcap(args.input)
     else:
         records = read_csv(args.input)
-    consumed = tree.add_records(records)
+    via = ""
+    if args.shards > 1:
+        sharded = ShardedFlowtree(schema, config, num_shards=args.shards)
+        if args.batch_size and args.batch_size > 0:
+            consumed = sharded.add_batch(records, batch_size=args.batch_size)
+        else:
+            consumed = sharded.add_records(records)
+        tree = sharded.merged_tree()
+        via = f" via {args.shards} shards"
+    else:
+        tree = Flowtree(schema, config)
+        if args.batch_size and args.batch_size > 0:
+            consumed = tree.add_batch(records, batch_size=args.batch_size)
+        else:
+            consumed = tree.add_records(records)
     args.output.write_bytes(to_bytes(tree))
     print(
-        f"summarized {consumed} records into {tree.node_count()} nodes "
+        f"summarized {consumed} records into {tree.node_count()} nodes{via} "
         f"({format_bytes(args.output.stat().st_size)}) -> {args.output}"
     )
     return 0

@@ -38,6 +38,7 @@ from repro.core.policy import (
     schema_max_specificity,
 )
 from repro.core.serialization import from_bytes, from_json, size_report, to_bytes, to_json
+from repro.core.sharded import DEFAULT_NUM_SHARDS, ShardedFlowtree, shard_index
 from repro.core.estimator import (
     children_of,
     coverage,
@@ -49,6 +50,9 @@ from repro.core.estimator import (
 
 __all__ = [
     "Flowtree",
+    "ShardedFlowtree",
+    "shard_index",
+    "DEFAULT_NUM_SHARDS",
     "FlowtreeConfig",
     "PAPER_EVAL_CONFIG",
     "EXACT_CONFIG",

@@ -55,30 +55,58 @@ class Compactor:
             return 0
 
         before = len(tree)
-        # Walk every victim's canonical chain once; chains[i][level] is the
-        # victim's ancestor key after ``level + 1`` generalization steps.
-        chains: List[List[FlowKey]] = [
-            list(tree.chain_builder.chain(victim.key)) for victim in victims
-        ]
-        max_chain = max((len(chain) for chain in chains), default=0)
+        # Victim chains are materialized lazily, one level at a time:
+        # chains[i][level] is the victim's ancestor key after ``level + 1``
+        # generalization steps, but levels past the one where the round
+        # terminates are never constructed.  Most victims meet an aggregate
+        # within a few steps, so this skips the bulk of the FlowKey
+        # construction cost the eager walk used to pay.
+        chain_iters = [tree.chain_builder.chain(victim.key) for victim in victims]
+        chains: List[List[FlowKey]] = [[] for _ in victims]
         remaining = set(range(len(victims)))
 
-        for level in range(max_chain):
+        level = 0
+        while True:
             if len(tree) <= before - excess:
                 break
             if not remaining:
                 break
             groups: Dict[FlowKey, List[int]] = defaultdict(list)
+            progressed = False
             for index in remaining:
                 chain = chains[index]
+                while len(chain) <= level:
+                    step = next(chain_iters[index], None)
+                    if step is None:
+                        break
+                    chain.append(step)
                 if level >= len(chain):
                     continue
                 ancestor_key = chain[level]
+                progressed = True
                 if ancestor_key.is_root:
                     continue
                 groups[ancestor_key].append(index)
-            for ancestor_key, members in groups.items():
+            if not progressed:
+                break
+            level += 1
+            eligible = [
+                (ancestor_key, members)
+                for ancestor_key, members in groups.items()
+                if len(members) >= 2 or ancestor_key in tree
+            ]
+            # Materialize every new fold target of this level in one sweep
+            # (per-key insertion re-scans the parent's children each time,
+            # which is quadratic when a level creates hundreds of targets).
+            tree._bulk_create_aggregates(
+                key for key, _ in eligible if key not in tree
+            )
+            for ancestor_key, members in eligible:
                 if len(members) < 2 and ancestor_key not in tree:
+                    # The aggregate this singleton would have joined was
+                    # itself folded earlier in the level; recreating it
+                    # empty would not shrink the tree, so the victim keeps
+                    # climbing instead (same policy as the per-key path).
                     continue
                 target = tree._get_or_create_node(ancestor_key)
                 for index in members:

@@ -17,6 +17,7 @@ queries pay the aggregation cost instead.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.compaction import Compactor
@@ -26,6 +27,39 @@ from repro.core.key import FlowKey
 from repro.core.node import Counters, FlowtreeNode
 from repro.core.policy import ChainBuilder, GeneralizationPolicy, get_policy
 from repro.features.schema import FlowSchema
+
+
+#: Records pre-aggregated per ingestion batch when callers don't choose;
+#: shared by :meth:`Flowtree.add_batch`, :class:`ShardedFlowtree` and the
+#: distributed daemon so the paths can't drift apart.
+DEFAULT_BATCH_SIZE = 16_384
+
+
+def preaggregate_records(records, signature_of, count_bytes: bool) -> Dict[object, list]:
+    """Group records by key signature into ``[packets, bytes, flows, sample]``.
+
+    The flat-dict phase shared by :meth:`Flowtree.add_batch` and
+    :meth:`~repro.core.sharded.ShardedFlowtree.add_batch`: one counter merge
+    per record, one sample record kept per distinct signature so the caller
+    can build the :class:`~repro.core.key.FlowKey` once.
+    """
+    pending: Dict[object, list] = {}
+    for record in records:
+        signature = signature_of(record)
+        entry = pending.get(signature)
+        if entry is None:
+            pending[signature] = [
+                getattr(record, "packets", 1),
+                getattr(record, "bytes", 0) if count_bytes else 0,
+                1,
+                record,
+            ]
+        else:
+            entry[0] += getattr(record, "packets", 1)
+            if count_bytes:
+                entry[1] += getattr(record, "bytes", 0)
+            entry[2] += 1
+    return pending
 
 
 @dataclass
@@ -106,13 +140,24 @@ class Flowtree:
             port_stride=self._config.port_stride,
         )
         self._max_spec = self._chain.max_specificity
-        self._trajectory_levels = set(self._chain.trajectory())
+        self._trajectory_order = self._chain.trajectory()
+        self._trajectory_levels = set(self._trajectory_order)
 
         root_key = FlowKey.root(schema)
         self._root = FlowtreeNode(root_key)
         self._nodes: Dict[FlowKey, FlowtreeNode] = {root_key: self._root}
         self._stats = UpdateStats()
         self._compactor = Compactor(self._config)
+        self._root_spec = self._trajectory_order[-1]
+        self._traj_index = {vec: i for i, vec in enumerate(self._trajectory_order)}
+        # Interior-level index: how many kept nodes sit at each trajectory
+        # specificity vector below full specificity.  Maintained by
+        # _insert_under/_remove_node, it lets ancestor lookups probe only the
+        # populated generalization levels instead of walking whole chains.
+        self._interior_levels: Dict[Tuple[int, ...], int] = {self._root_spec: 1}
+        self._populated_levels: List[Tuple[int, Tuple[int, ...]]] = [
+            (len(self._trajectory_order) - 1, self._root_spec)
+        ]
 
     # -- basic properties -----------------------------------------------------
 
@@ -220,14 +265,164 @@ class Flowtree:
             count += 1
         return count
 
+    def add_batch(self, records: Iterable[object], batch_size: int = DEFAULT_BATCH_SIZE) -> int:
+        """Batched ingestion fast path; returns the number of records consumed.
+
+        Produces exactly the counters a :meth:`add_record` loop over the
+        same records would, but does the work per *distinct* key instead of
+        per record:
+
+        1. records are pre-aggregated by their raw-attribute signature
+           (:meth:`~repro.features.schema.FlowSchema.signature_of`) in a
+           flat dict — one counter merge per record, no ``FlowKey``
+           construction,
+        2. one :class:`FlowKey` is built per distinct signature and
+           inserted in first-seen order by a single pass that resolves
+           ancestors through the populated trajectory levels instead of
+           walking every key's full canonical chain, and
+        3. compaction is amortized: instead of a check per record, it runs
+           at batch boundaries and whenever a batch overshoots the node
+           budget by more than one victim-batch-sized margin.
+
+        ``batch_size`` bounds how many records are pre-aggregated before
+        the tree is touched, which keeps memory bounded on arbitrarily long
+        iterables (pass ``0`` to aggregate everything in one batch).
+
+        With compaction disabled the result is byte-identical to the
+        per-record loop; with a node budget, compaction fires at slightly
+        different points in the stream, so the two paths may fold different
+        victims (same totals, slightly different aggregates).
+        """
+        iterator = iter(records)
+        consumed = 0
+        while True:
+            if batch_size and batch_size > 0:
+                chunk = list(islice(iterator, batch_size))
+            else:
+                chunk = list(iterator)
+            if not chunk:
+                break
+            consumed += self._add_batch_chunk(chunk)
+        return consumed
+
+    def _add_batch_chunk(self, records: List[object]) -> int:
+        """Pre-aggregate one bounded chunk and apply it in a single pass."""
+        pending = preaggregate_records(
+            records, self._schema.signature_of, self._config.count_bytes
+        )
+        if not pending:
+            return 0
+        schema = self._schema
+        self.add_aggregated(
+            (
+                (FlowKey.from_record(schema, entry[3]), entry[0], entry[1], entry[2])
+                for entry in pending.values()
+            ),
+            record_count=len(records),
+        )
+        return len(records)
+
+    def add_aggregated(
+        self,
+        items: Iterable[Tuple[FlowKey, int, int, int]],
+        record_count: Optional[int] = None,
+    ) -> None:
+        """Charge pre-aggregated ``(key, packets, bytes, flows)`` tuples.
+
+        Equivalent to one :meth:`add` call per item except that compaction
+        is checked once at the end instead of once per item.  ``record_count``
+        is how many raw records the items summarize (defaults to the number
+        of items) and is what :attr:`stats` ``updates`` advances by, so the
+        counter keeps meaning "records charged" on the batched path too.
+
+        Ancestor resolution goes through the populated-level index (see
+        :meth:`_longest_matching_ancestor`): because the index is maintained
+        incrementally, every new key costs a few dict probes — one per
+        populated generalization level — rather than a full canonical chain
+        walk, and keys sharing a chain prefix share the cached level state.
+        """
+        nodes = self._nodes
+        stats = self._stats
+        max_nodes = self._config.max_nodes
+        if self._config.compaction_enabled:
+            # Let the batch overshoot the budget by one victim-batch-sized
+            # margin before compacting mid-pass.  Compacting from a tree
+            # that ballooned far past its budget degenerates (most leaves
+            # become victims and fold pairwise), so overshoot is bounded at
+            # roughly what the per-record path tolerates.
+            overshoot_limit = max_nodes + max(self._config.victim_batch, max_nodes // 16)
+        else:
+            overshoot_limit = None
+        touched: List[FlowtreeNode] = []
+        applied = 0
+        for key, packets, byte_count, flows in items:
+            applied += 1
+            node = nodes.get(key)
+            inserted = node is None
+            if inserted:
+                node = self._insert_under(key, self._longest_matching_ancestor(key))
+            counters = node.counters
+            counters.packets += packets
+            counters.bytes += byte_count
+            counters.flows += flows
+            touched.append(node)
+            if inserted and overshoot_limit is not None and len(nodes) > overshoot_limit:
+                self.compact()
+        stats.updates += record_count if record_count is not None else applied
+        seq = stats.updates
+        for node in touched:
+            node.updated_seq = seq
+        self._maybe_compact()
+
     def _longest_matching_ancestor(self, key: FlowKey) -> FlowtreeNode:
-        """Walk the canonical chain until an existing node is found (root terminates)."""
-        for ancestor_key in self._chain.chain(key):
+        """First canonical-chain ancestor of ``key`` kept in the tree.
+
+        For keys on the policy trajectory the chain elements are exactly the
+        key's projections onto the trajectory levels below it, so only the
+        *populated* levels (tracked incrementally by the interior-level
+        index) need probing — usually one or two dict lookups instead of a
+        full chain walk.  Off-trajectory keys fall back to the generic walk.
+        """
+        index = self._traj_index.get(key.specificity_vector)
+        if index is None:
+            for ancestor_key in self._chain.chain(key):
+                self._stats.chain_steps += 1
+                node = self._nodes.get(ancestor_key)
+                if node is not None:
+                    return node
+            return self._root
+        nodes = self._nodes
+        root_spec = self._root_spec
+        for level_index, vec in self._populated_levels:
+            if level_index <= index:
+                continue
             self._stats.chain_steps += 1
-            node = self._nodes.get(ancestor_key)
+            if vec == root_spec:
+                break
+            node = nodes.get(key.generalize_to_vector(vec))
             if node is not None:
                 return node
         return self._root
+
+    def _level_added(self, vec: Tuple[int, ...]) -> None:
+        count = self._interior_levels.get(vec, 0)
+        self._interior_levels[vec] = count + 1
+        if count == 0:
+            self._rebuild_populated_levels()
+
+    def _level_removed(self, vec: Tuple[int, ...]) -> None:
+        count = self._interior_levels.get(vec, 0) - 1
+        if count <= 0:
+            self._interior_levels.pop(vec, None)
+            self._rebuild_populated_levels()
+        else:
+            self._interior_levels[vec] = count
+
+    def _rebuild_populated_levels(self) -> None:
+        traj_index = self._traj_index
+        self._populated_levels = sorted(
+            (traj_index[vec], vec) for vec in self._interior_levels
+        )
 
     def _insert_under(self, key: FlowKey, ancestor: FlowtreeNode) -> FlowtreeNode:
         """Create a node for ``key`` below ``ancestor``, preserving containment.
@@ -238,12 +433,15 @@ class Flowtree:
         so the hot update path never pays for it.
         """
         node = FlowtreeNode(key, created_seq=self._stats.updates)
-        if not key.specificity_vector == self._max_spec:
+        vec = key.specificity_vector
+        if vec != self._max_spec:
             to_reparent = [
                 child for child in ancestor.children.values() if key.is_ancestor_of(child.key)
             ]
             for child in to_reparent:
                 node.attach_child(child)
+            if vec in self._traj_index:
+                self._level_added(vec)
         ancestor.attach_child(node)
         self._nodes[key] = node
         self._stats.inserts += 1
@@ -289,6 +487,9 @@ class Flowtree:
             parent.attach_child(child)
         node.detach()
         del self._nodes[node.key]
+        vec = node.key.specificity_vector
+        if vec != self._max_spec and vec in self._traj_index:
+            self._level_removed(vec)
 
     def _get_or_create_node(self, key: FlowKey) -> FlowtreeNode:
         node = self._nodes.get(key)
@@ -296,6 +497,60 @@ class Flowtree:
             ancestor = self._longest_matching_ancestor(key)
             node = self._insert_under(key, ancestor)
         return node
+
+    def _bulk_create_aggregates(self, keys: Iterable[FlowKey]) -> Dict[FlowKey, FlowtreeNode]:
+        """Create nodes for several generalized keys in one containment sweep.
+
+        :meth:`_insert_under` re-scans the ancestor's entire child list per
+        inserted key; when compaction materializes hundreds of aggregates
+        under the same few parents that is quadratic.  Here all keys are
+        attached first, then each affected parent's children are swept
+        once: a child belongs under a new aggregate exactly when its
+        projection onto the aggregate's specificity vector *is* that
+        aggregate (containment in a per-feature hierarchy), so the sweep
+        costs one projection per child and candidate level instead of one
+        containment test per (child, new aggregate) pair.
+        """
+        created: Dict[FlowKey, FlowtreeNode] = {}
+        parents: List[FlowtreeNode] = []
+        seq = self._stats.updates
+        for key in keys:
+            if key in self._nodes:
+                continue
+            ancestor = self._longest_matching_ancestor(key)
+            node = FlowtreeNode(key, created_seq=seq)
+            ancestor.attach_child(node)
+            self._nodes[key] = node
+            self._stats.inserts += 1
+            vec = key.specificity_vector
+            if vec != self._max_spec and vec in self._traj_index:
+                self._level_added(vec)
+            created[key] = node
+            parents.append(ancestor)
+        if not created:
+            return created
+        # Candidate levels, deepest first, so a child lands under its
+        # nearest containing aggregate when the new keys are nested.
+        levels = sorted(
+            {key.specificity_vector for key in created},
+            key=lambda vec: -sum(vec),
+        )
+        swept = set()
+        for parent in parents:
+            if id(parent) in swept:
+                continue
+            swept.add(id(parent))
+            for child in list(parent.children.values()):
+                child_vec = child.key.specificity_vector
+                for vec in levels:
+                    if child_vec == vec:
+                        continue
+                    if all(c >= v for c, v in zip(child_vec, vec)):
+                        target = created.get(child.key.generalize_to_vector(vec))
+                        if target is not None and target is not child:
+                            target.attach_child(child)
+                            break
+        return created
 
     # -- queries ----------------------------------------------------------------
 

@@ -1,0 +1,276 @@
+"""Sharded ingestion: hash-partitioning one logical Flowtree across N shards.
+
+A :class:`ShardedFlowtree` splits the key space across ``num_shards``
+per-shard :class:`~repro.core.flowtree.Flowtree` instances, each holding an
+equal slice (``max_nodes / num_shards``) of the node budget.  Every fully
+specific key lands in exactly one shard (chosen by a deterministic hash of
+its wire form, so shard placement is stable across processes and runs),
+which makes the shards independent: batches are partitioned once and each
+shard does a smaller insertion pass over a smaller tree.
+
+The shards are ordinary Flowtrees, so the paper's *merge* operator is all
+that is needed to get back a single queryable summary
+(:meth:`ShardedFlowtree.merged_tree`): merging re-enforces the full node
+budget, and because compaction folds along the same canonical chains in
+every shard, the merged tree is schema- and policy-compatible with any
+unsharded summary.  This is the single-process counterpart of the paper's
+collector merging per-site summaries — and the foundation for running the
+shards on separate cores or hosts later.
+"""
+
+from __future__ import annotations
+
+import zlib
+from itertools import islice
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.config import FlowtreeConfig
+from repro.core.errors import ConfigurationError
+from repro.core.flowtree import (
+    DEFAULT_BATCH_SIZE,
+    Estimate,
+    Flowtree,
+    preaggregate_records,
+)
+from repro.core.key import FlowKey
+from repro.core.node import Counters
+from repro.features.schema import FlowSchema
+
+#: Shards used when the caller does not specify a count.
+DEFAULT_NUM_SHARDS = 4
+
+
+def shard_index(key: FlowKey, num_shards: int) -> int:
+    """Deterministic shard for ``key`` (stable across processes and runs).
+
+    Uses CRC-32 of the key's wire form rather than ``hash()`` because
+    feature hashes mix in interned strings, which Python randomizes per
+    process; two daemons sharding the same stream must agree on placement.
+    """
+    digest = zlib.crc32("|".join(key.to_wire()).encode("utf-8"))
+    return digest % num_shards
+
+
+class ShardedFlowtree:
+    """N hash-partitioned Flowtrees behaving like one bigger one.
+
+    Args:
+        schema: flow schema shared by every shard.
+        config: logical configuration; ``max_nodes`` is the *total* budget,
+            divided evenly across shards (each shard keeps at least the
+            minimum viable 16 nodes, so very small budgets with many shards
+            may slightly overshoot the total).
+        num_shards: how many partitions to maintain.
+
+    Example::
+
+        sharded = ShardedFlowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=40_000), num_shards=8)
+        sharded.add_batch(trace)
+        tree = sharded.merged_tree()   # ordinary Flowtree, full budget
+    """
+
+    def __init__(
+        self,
+        schema: FlowSchema,
+        config: Optional[FlowtreeConfig] = None,
+        num_shards: int = DEFAULT_NUM_SHARDS,
+    ) -> None:
+        if num_shards < 1:
+            raise ConfigurationError(f"num_shards must be at least 1, got {num_shards}")
+        self._schema = schema
+        self._config = config or FlowtreeConfig()
+        self._num_shards = num_shards
+        if self._config.max_nodes is None:
+            shard_config = self._config
+        else:
+            shard_config = self._config.with_max_nodes(
+                max(16, self._config.max_nodes // num_shards)
+            )
+        self._shards: Tuple[Flowtree, ...] = tuple(
+            Flowtree(schema, shard_config) for _ in range(num_shards)
+        )
+
+    # -- basic properties -----------------------------------------------------
+
+    @property
+    def schema(self) -> FlowSchema:
+        """The flow schema every shard summarizes."""
+        return self._schema
+
+    @property
+    def config(self) -> FlowtreeConfig:
+        """The logical (whole-structure) configuration."""
+        return self._config
+
+    @property
+    def num_shards(self) -> int:
+        """Number of partitions."""
+        return self._num_shards
+
+    @property
+    def shards(self) -> Tuple[Flowtree, ...]:
+        """The per-shard Flowtrees (read-only view; each is a normal tree)."""
+        return self._shards
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def node_count(self) -> int:
+        """Total kept nodes across all shards (each shard has its own root)."""
+        return sum(shard.node_count() for shard in self._shards)
+
+    def shard_for_key(self, key: FlowKey) -> int:
+        """Index of the shard responsible for ``key``."""
+        return shard_index(key, self._num_shards)
+
+    # -- update path ----------------------------------------------------------
+
+    def add(self, key: FlowKey, packets: int = 1, bytes: int = 0, flows: int = 1) -> None:
+        """Charge counters to ``key`` in its shard."""
+        self._shards[self.shard_for_key(key)].add(
+            key, packets=packets, bytes=bytes, flows=flows
+        )
+
+    def add_record(self, record: object) -> None:
+        """Charge one flow/packet record to the shard owning its key."""
+        key = FlowKey.from_record(self._schema, record)
+        packets = getattr(record, "packets", 1)
+        record_bytes = getattr(record, "bytes", 0) if self._config.count_bytes else 0
+        self._shards[self.shard_for_key(key)].add(
+            key, packets=packets, bytes=record_bytes, flows=1
+        )
+
+    def add_records(self, records: Iterable[object]) -> int:
+        """Per-record ingestion of an iterable; returns records consumed."""
+        count = 0
+        for record in records:
+            self.add_record(record)
+            count += 1
+        return count
+
+    def add_batch(
+        self, records: Iterable[object], batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> int:
+        """Batched, partitioned ingestion; returns records consumed.
+
+        Records are pre-aggregated by raw-attribute signature exactly like
+        :meth:`Flowtree.add_batch`, then the distinct keys are partitioned
+        and each shard applies its slice in one
+        :meth:`~repro.core.flowtree.Flowtree.add_aggregated` pass, so the
+        per-record costs are paid once no matter how many shards exist.
+        """
+        iterator = iter(records)
+        schema = self._schema
+        signature_of = schema.signature_of
+        count_bytes = self._config.count_bytes
+        num_shards = self._num_shards
+        consumed = 0
+        while True:
+            if batch_size and batch_size > 0:
+                chunk = list(islice(iterator, batch_size))
+            else:
+                chunk = list(iterator)
+            if not chunk:
+                break
+            pending = preaggregate_records(chunk, signature_of, count_bytes)
+            per_shard: List[List[Tuple[FlowKey, int, int, int]]] = [
+                [] for _ in range(num_shards)
+            ]
+            per_shard_records = [0] * num_shards
+            for entry in pending.values():
+                key = FlowKey.from_record(schema, entry[3])
+                index = shard_index(key, num_shards)
+                per_shard[index].append((key, entry[0], entry[1], entry[2]))
+                per_shard_records[index] += entry[2]
+            for index, items in enumerate(per_shard):
+                if items:
+                    self._shards[index].add_aggregated(
+                        items, record_count=per_shard_records[index]
+                    )
+            consumed += len(chunk)
+        return consumed
+
+    # -- queries and export ----------------------------------------------------
+
+    def total_counters(self) -> Counters:
+        """Total traffic summarized across all shards."""
+        total = Counters()
+        for shard in self._shards:
+            total.add(shard.total_counters())
+        return total
+
+    def items(self) -> Iterator[Tuple[FlowKey, Counters]]:
+        """Iterate ``(key, complementary counters)`` over every shard.
+
+        Shard roots all carry the same all-wildcard key; callers that need
+        one coherent tree should use :meth:`merged_tree` instead.
+        """
+        for shard in self._shards:
+            yield from shard.items()
+
+    def estimate(self, key: FlowKey) -> Estimate:
+        """Estimated popularity of ``key``, summed across shards.
+
+        Fully specific keys live in exactly one shard, so their estimate
+        matches the owning shard's.  Generalized keys span shards; the
+        per-shard estimates are additive because the shards partition the
+        traffic.  For repeated or merge-sensitive queries, build a
+        :meth:`merged_tree` once and query that.
+        """
+        total = Counters()
+        descendants = Counters()
+        ancestor = Counters()
+        any_exact = False
+        for shard in self._shards:
+            part = shard.estimate(key)
+            total.add(part.counters)
+            descendants.add(part.from_descendants)
+            ancestor.add(part.from_ancestor)
+            any_exact = any_exact or part.exact_node
+        # Estimate's contract: an exact answer carries no proportional
+        # component.  The key may be kept in one shard while others still
+        # attribute ancestor shares, so the combined answer is only exact
+        # when those shares are all zero.
+        return Estimate(
+            key=key,
+            counters=total,
+            exact_node=any_exact and ancestor.is_zero,
+            from_descendants=descendants,
+            from_ancestor=ancestor,
+        )
+
+    def merged_tree(self, config: Optional[FlowtreeConfig] = None) -> Flowtree:
+        """Merge every shard into one Flowtree via the paper's merge operator.
+
+        The result uses the logical configuration (full node budget) unless
+        ``config`` overrides it, so merging re-enforces the total budget.
+        """
+        result = Flowtree(self._schema, config or self._config)
+        for shard in self._shards:
+            result.merge(shard)
+        return result
+
+    # -- maintenance ------------------------------------------------------------
+
+    def compact(self) -> int:
+        """Compact every shard to its target size; returns nodes removed."""
+        return sum(shard.compact() for shard in self._shards)
+
+    def validate(self) -> None:
+        """Validate the structural invariants of every shard."""
+        for shard in self._shards:
+            shard.validate()
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        """Aggregated work counters over all shards (plain dict)."""
+        totals: Dict[str, int] = {}
+        for shard in self._shards:
+            for name, value in shard.stats.snapshot().items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedFlowtree(schema={self._schema.name!r}, shards={self._num_shards}, "
+            f"nodes={self.node_count()})"
+        )

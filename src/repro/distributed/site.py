@@ -16,7 +16,7 @@ from repro.core.config import FlowtreeConfig
 from repro.core.errors import DaemonError
 from repro.distributed.alerting import AlertManager, AlertPolicy
 from repro.distributed.collector import Collector
-from repro.distributed.daemon import FlowtreeDaemon
+from repro.distributed.daemon import DEFAULT_BATCH_SIZE, FlowtreeDaemon
 from repro.distributed.messages import Alert
 from repro.distributed.query_engine import DistributedQueryEngine
 from repro.distributed.transport import SimulatedTransport
@@ -25,17 +25,23 @@ from repro.features.schema import FlowSchema
 
 @dataclass
 class MonitoringSite:
-    """One monitoring location: a name, its traffic and its daemon."""
+    """One monitoring location: a name, its traffic and its daemon.
+
+    ``batch_size`` controls the daemon's batched replay path; ``None``,
+    ``0`` or ``1`` forces per-record ingestion, mostly useful for
+    measuring the batched speedup.
+    """
 
     name: str
     daemon: FlowtreeDaemon
     records: Optional[Iterable[object]] = None
+    batch_size: Optional[int] = DEFAULT_BATCH_SIZE
 
     def replay(self) -> int:
         """Feed the site's records through its daemon; returns records consumed."""
         if self.records is None:
             return 0
-        consumed = self.daemon.consume_records(self.records)
+        consumed = self.daemon.consume_records(self.records, batch_size=self.batch_size)
         self.daemon.flush()
         return consumed
 

@@ -12,6 +12,7 @@ all-wildcard root key.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from operator import attrgetter
 from typing import Callable, Dict, Sequence, Tuple
 
 from repro.features.base import Feature, FeatureError
@@ -91,6 +92,7 @@ class FlowSchema:
         self._fields: Tuple[FieldSpec, ...] = tuple(
             FieldSpec(field, _FEATURE_TYPES[field]) for field in field_names
         )
+        self._signature = attrgetter(*field_names)
 
     # -- properties ---------------------------------------------------------
 
@@ -117,6 +119,19 @@ class FlowSchema:
     def features_of(self, record: object) -> Tuple[Feature, ...]:
         """Fully specific feature tuple for a flow/packet record."""
         return tuple(spec.extract(record) for spec in self._fields)
+
+    def signature_of(self, record: object):
+        """Hashable raw-attribute view of the record's fully specific key.
+
+        Two records have equal signatures exactly when
+        :meth:`features_of` would produce equal feature tuples, but a
+        signature costs a few attribute reads instead of constructing one
+        ``Feature`` object per dimension — which is what makes batched
+        pre-aggregation (:meth:`repro.core.flowtree.Flowtree.add_batch`)
+        cheap.  For single-field schemas the signature is the bare
+        attribute value, otherwise a tuple in field order.
+        """
+        return self._signature(record)
 
     def root_features(self) -> Tuple[Feature, ...]:
         """All-wildcard feature tuple (the Flowtree root)."""

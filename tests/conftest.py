@@ -1,64 +1,20 @@
-"""Shared fixtures for the Flowtree test suite."""
+"""Shared fixtures for the Flowtree test suite.
+
+Plain helpers (``SimpleRecord``, ``make_record``, ``key2``, ``key4``) live
+in ``tests/helpers.py`` so test modules import them explicitly instead of
+relying on the fragile top-level ``conftest`` module name.
+"""
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 import pytest
 
 from repro.core.config import FlowtreeConfig
 from repro.core.flowtree import Flowtree
-from repro.core.key import FlowKey
-from repro.features.ipaddr import IPv4Prefix, ipv4_to_int
-from repro.features.ports import PortRange
-from repro.features.protocol import Protocol
+from repro.features.ipaddr import ipv4_to_int
 from repro.features.schema import SCHEMA_1F_SRC, SCHEMA_2F_SRC_DST, SCHEMA_4F, SCHEMA_5F
 from repro.flows.records import FlowRecord, PacketRecord
 from repro.traces import CaidaLikeTraceGenerator
-
-
-@dataclass
-class SimpleRecord:
-    """Minimal duck-typed record used by core tests (no timestamps needed)."""
-
-    src_ip: int
-    dst_ip: int
-    src_port: int
-    dst_port: int
-    protocol: int = 6
-    packets: int = 1
-    bytes: int = 100
-
-
-def make_record(
-    src: str = "1.1.1.1",
-    dst: str = "2.2.2.2",
-    sport: int = 1234,
-    dport: int = 80,
-    protocol: int = 6,
-    packets: int = 1,
-    bytes: int = 100,
-) -> SimpleRecord:
-    """Convenience constructor taking dotted-quad addresses."""
-    return SimpleRecord(
-        src_ip=ipv4_to_int(src),
-        dst_ip=ipv4_to_int(dst),
-        src_port=sport,
-        dst_port=dport,
-        protocol=protocol,
-        packets=packets,
-        bytes=bytes,
-    )
-
-
-def key4(src: str, dst: str, sport: str, dport: str) -> FlowKey:
-    """Build a 4-feature key from wire strings ('*' for wildcards)."""
-    return FlowKey.from_wire(SCHEMA_4F, (src, dst, sport, dport))
-
-
-def key2(src: str, dst: str) -> FlowKey:
-    """Build a 2-feature key from wire strings."""
-    return FlowKey.from_wire(SCHEMA_2F_SRC_DST, (src, dst))
 
 
 @pytest.fixture
@@ -139,7 +95,3 @@ def packet_records_small():
         )
         for i in range(40)
     ]
-
-
-# Re-exported helpers so test modules can simply import from conftest.
-__all__ = ["SimpleRecord", "make_record", "key4", "key2"]

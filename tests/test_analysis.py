@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import key2, key4, make_record
+from helpers import key2, key4, make_record
 from repro.analysis import (
     AccuracyEvaluator,
     Histogram2D,

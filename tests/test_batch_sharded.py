@@ -1,0 +1,219 @@
+"""Batched + sharded ingestion: equivalence with the per-record update path.
+
+The contract of the fast paths is behavioural, not just statistical:
+
+* ``Flowtree.add_batch`` over any record stream must serialize to exactly
+  the same bytes as a per-record ``add_record`` loop when compaction is
+  disabled — regardless of batch size — and must stay byte-identical when
+  both paths cross a compaction boundary at the same point in the stream;
+* ``ShardedFlowtree`` shards merged through the paper's merge operator
+  must reproduce the single unsharded tree.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import SimpleRecord, make_record
+
+from repro.core import Flowtree, FlowtreeConfig, ShardedFlowtree, shard_index, to_bytes
+from repro.core.key import FlowKey
+from repro.features.schema import SCHEMA_1F_SRC, SCHEMA_2F_SRC_DST, SCHEMA_4F
+
+
+def _record(src_host, dst_host, sport, dport, packets):
+    return SimpleRecord(
+        src_ip=(10 << 24) | src_host,
+        dst_ip=(192 << 24) | (168 << 16) | dst_host,
+        src_port=1024 + sport,
+        dst_port=dport,
+        packets=packets,
+        bytes=packets * 100,
+    )
+
+
+# Small domains force duplicates and shared chain prefixes.
+records_strategy = st.lists(
+    st.builds(
+        _record,
+        src_host=st.integers(0, 40),
+        dst_host=st.integers(0, 6),
+        sport=st.integers(0, 10),
+        dport=st.sampled_from([53, 80, 443]),
+        packets=st.integers(1, 5),
+    ),
+    min_size=1,
+    max_size=150,
+)
+
+
+class TestAddBatchEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(records=records_strategy, batch_size=st.sampled_from([0, 1, 7, 64, 10_000]))
+    def test_byte_identical_to_add_loop_unbounded(self, records, batch_size):
+        """Property: batch == loop, byte for byte, for any chunking."""
+        loop_tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=None))
+        for record in records:
+            loop_tree.add_record(record)
+        batch_tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=None))
+        consumed = batch_tree.add_batch(records, batch_size=batch_size)
+        assert consumed == len(records)
+        assert to_bytes(batch_tree) == to_bytes(loop_tree)
+        assert batch_tree.stats.updates == loop_tree.stats.updates == len(records)
+        batch_tree.validate()
+
+    @settings(max_examples=15, deadline=None)
+    @given(records=records_strategy)
+    def test_byte_identical_on_2f_schema(self, records):
+        loop_tree = Flowtree(SCHEMA_2F_SRC_DST, FlowtreeConfig(max_nodes=None))
+        for record in records:
+            loop_tree.add_record(record)
+        batch_tree = Flowtree(SCHEMA_2F_SRC_DST, FlowtreeConfig(max_nodes=None))
+        batch_tree.add_batch(records)
+        assert to_bytes(batch_tree) == to_bytes(loop_tree)
+
+    def test_byte_identical_across_compaction_boundary(self):
+        """Both paths compact exactly once, at the same stream position.
+
+        The stream holds 64 distinct keys against a 64-node budget; the
+        +1 root means the budget is first exceeded by the final record, so
+        the per-record loop's compaction fires on its last ``add`` — from
+        the same fully-accumulated state the batched path compacts from.
+        """
+        config = FlowtreeConfig(max_nodes=64)
+        records = []
+        for i in range(63):
+            # Every duplicate of keys 0..62 arrives before the final key.
+            records.extend(
+                make_record(src=f"10.1.{i}.1", dst="203.0.113.9", sport=2000 + i,
+                            dport=443, packets=1 + i % 4)
+                for _ in range(1 + i % 3)
+            )
+        records.append(make_record(src="10.9.9.9", dst="203.0.113.9", sport=4999, dport=443))
+
+        loop_tree = Flowtree(SCHEMA_4F, config)
+        for record in records:
+            loop_tree.add_record(record)
+        batch_tree = Flowtree(SCHEMA_4F, config)
+        batch_tree.add_batch(records, batch_size=0)
+
+        assert loop_tree.stats.compactions == 1
+        assert batch_tree.stats.compactions == 1
+        assert to_bytes(batch_tree) == to_bytes(loop_tree)
+        batch_tree.validate()
+        loop_tree.validate()
+
+    def test_bounded_batch_respects_budget_and_totals(self, packet_stream_small):
+        config = FlowtreeConfig(max_nodes=128, victim_batch=16)
+        loop_tree = Flowtree(SCHEMA_4F, config)
+        for record in packet_stream_small:
+            loop_tree.add_record(record)
+        batch_tree = Flowtree(SCHEMA_4F, config)
+        batch_tree.add_batch(packet_stream_small, batch_size=512)
+        batch_tree.validate()
+        assert batch_tree.total_counters() == loop_tree.total_counters()
+        # Compaction at batch boundaries may land between max_nodes and the
+        # overshoot margin, but the final tree must be back under budget.
+        assert len(batch_tree) <= config.max_nodes + max(config.victim_batch,
+                                                         config.max_nodes // 16)
+
+    def test_add_aggregated_matches_add_calls(self):
+        items = [
+            (FlowKey.from_record(SCHEMA_4F, make_record(src=f"10.2.{i}.1")), 3 * i + 1, 50 * i, 2)
+            for i in range(20)
+        ]
+        direct = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=None))
+        for key, packets, byte_count, flows in items:
+            direct.add(key, packets=packets, bytes=byte_count, flows=flows)
+        aggregated = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=None))
+        aggregated.add_aggregated(items)
+        assert to_bytes(aggregated) == to_bytes(direct)
+
+    def test_signature_matches_key_identity(self):
+        a = make_record(src="10.0.0.1", sport=1111)
+        b = make_record(src="10.0.0.1", sport=1111, packets=9, bytes=9_999)
+        c = make_record(src="10.0.0.2", sport=1111)
+        assert SCHEMA_4F.signature_of(a) == SCHEMA_4F.signature_of(b)
+        assert SCHEMA_4F.signature_of(a) != SCHEMA_4F.signature_of(c)
+        assert (SCHEMA_4F.signature_of(a) == SCHEMA_4F.signature_of(b)) == (
+            FlowKey.from_record(SCHEMA_4F, a) == FlowKey.from_record(SCHEMA_4F, b)
+        )
+        # Single-field schemas give a bare value, still usable as a dict key.
+        assert SCHEMA_1F_SRC.signature_of(a) == a.src_ip
+
+
+class TestShardedFlowtree:
+    @settings(max_examples=20, deadline=None)
+    @given(records=records_strategy, num_shards=st.sampled_from([1, 2, 4, 7]))
+    def test_merge_equivalence_against_unsharded(self, records, num_shards):
+        """Property: merging the shards reproduces the single tree exactly."""
+        single = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=None))
+        for record in records:
+            single.add_record(record)
+        sharded = ShardedFlowtree(
+            SCHEMA_4F, FlowtreeConfig(max_nodes=None), num_shards=num_shards
+        )
+        consumed = sharded.add_batch(records, batch_size=32)
+        assert consumed == len(records)
+        sharded.validate()
+        assert to_bytes(sharded.merged_tree()) == to_bytes(single)
+        assert sharded.total_counters() == single.total_counters()
+
+    def test_bounded_shards_split_the_budget(self, packet_stream_small):
+        config = FlowtreeConfig(max_nodes=256)
+        sharded = ShardedFlowtree(SCHEMA_4F, config, num_shards=4)
+        sharded.add_batch(packet_stream_small)
+        for shard in sharded.shards:
+            assert shard.config.max_nodes == 64
+            assert len(shard) <= 64 + max(shard.config.victim_batch, 4)
+        merged = sharded.merged_tree()
+        assert len(merged) <= config.max_nodes
+        assert merged.total_counters() == sharded.total_counters()
+
+    def test_shard_placement_is_deterministic_and_total(self, packet_stream_small):
+        keys = {FlowKey.from_record(SCHEMA_4F, p) for p in packet_stream_small[:500]}
+        for key in keys:
+            index = shard_index(key, 4)
+            assert 0 <= index < 4
+            assert index == shard_index(key, 4)
+        # A real stream must not collapse into one shard.
+        assert len({shard_index(key, 4) for key in keys}) == 4
+
+    def test_estimate_sums_over_shards(self, packet_stream_small):
+        single = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=None))
+        single.add_records(packet_stream_small)
+        sharded = ShardedFlowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=None), num_shards=4)
+        sharded.add_batch(packet_stream_small)
+        root = FlowKey.from_wire(SCHEMA_4F, ("*", "*", "*", "*"))
+        assert sharded.estimate(root).counters == single.estimate(root).counters
+        specific = FlowKey.from_record(SCHEMA_4F, packet_stream_small[0])
+        assert sharded.estimate(specific).counters == single.estimate(specific).counters
+
+    def test_add_record_and_add_match_batch(self, packet_stream_small):
+        by_batch = ShardedFlowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=None), num_shards=3)
+        by_batch.add_batch(packet_stream_small)
+        by_record = ShardedFlowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=None), num_shards=3)
+        assert by_record.add_records(packet_stream_small) == len(packet_stream_small)
+        assert to_bytes(by_record.merged_tree()) == to_bytes(by_batch.merged_tree())
+
+
+class TestDaemonBatchedReplay:
+    def test_batched_daemon_exports_identical_summaries(self, packet_stream_small):
+        from repro.distributed import FlowtreeDaemon, SimulatedTransport
+
+        def run(batch_size):
+            transport = SimulatedTransport()
+            daemon = FlowtreeDaemon(
+                site="s", schema=SCHEMA_4F, transport=transport,
+                bin_width=5.0, config=FlowtreeConfig(max_nodes=None),
+            )
+            daemon.consume_records(packet_stream_small, batch_size=batch_size)
+            daemon.flush()
+            return daemon.stats, [m.payload for _, m in transport.receive("collector")]
+
+        # Per-record vs batched must agree on accounting and exported bytes.
+        loop_stats, loop_payloads = run(batch_size=0)
+        batch_stats, batch_payloads = run(batch_size=100)
+        assert batch_stats.records_consumed == loop_stats.records_consumed
+        assert batch_stats.bins_exported == loop_stats.bins_exported
+        assert batch_stats.late_records == loop_stats.late_records
+        assert batch_payloads == loop_payloads

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import key2, key4, make_record
+from helpers import key2, key4, make_record
 from repro.core.config import FlowtreeConfig
 from repro.core.errors import SchemaMismatchError
 from repro.core.flowtree import Flowtree

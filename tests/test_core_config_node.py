@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import key2
+from helpers import key2
 from repro.core.config import EXACT_CONFIG, PAPER_EVAL_CONFIG, FlowtreeConfig
 from repro.core.errors import ConfigurationError
 from repro.core.node import Counters, FlowtreeNode

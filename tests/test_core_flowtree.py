@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import SimpleRecord, key4, make_record
+from helpers import SimpleRecord, key4, make_record
 from repro.core.config import FlowtreeConfig
 from repro.core.errors import QueryError, SchemaMismatchError
 from repro.core.flowtree import Flowtree

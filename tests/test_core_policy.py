@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import key2, key4
+from helpers import key2, key4
 from repro.core.config import FlowtreeConfig
 from repro.core.errors import ConfigurationError
 from repro.core.key import FlowKey

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import key2, key4, make_record
+from helpers import key2, key4, make_record
 from repro.core.errors import KeyError_
 from repro.core.key import FlowKey, validate_same_arity
 from repro.features.base import FeatureError
