@@ -14,6 +14,7 @@ A third table compares per-update cost against the hierarchical-heavy-hitter
 baselines, which pay O(levels) per packet.
 """
 
+import os
 import time
 
 import pytest
@@ -21,9 +22,16 @@ import pytest
 from workloads import print_header
 from repro.analysis import render_table
 from repro.baselines import FullUpdateHHH, RandomizedHHH, SpaceSavingSummary
-from repro.core import Flowtree, FlowtreeConfig, ShardedFlowtree
+from repro.core import Flowtree, FlowtreeConfig, ParallelShardedFlowtree, ShardedFlowtree
 from repro.features.schema import SCHEMA_4F
 from repro.traces import CaidaLikeTraceGenerator
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def _updates_per_second(tree, packets) -> float:
@@ -149,6 +157,73 @@ def test_batched_ingestion_speedup(benchmark):
     )
     # Sharding adds partitioning overhead but must not lose the batching win.
     assert sharded_rate >= loop_rate
+
+
+@pytest.mark.benchmark(group="update-throughput")
+def test_parallel_sharded_ingestion_speedup(benchmark):
+    """CLAIM-PARALLEL: process-parallel sharded ingestion on multi-core hosts.
+
+    Same paper-like regime as CLAIM-BATCH (working set fits the budget).
+    Measured end to end — partition + ship + fold + join on the merged
+    summary — so pickling/pipe overhead is charged against the win.  The
+    ≥2x four-worker-vs-one-worker claim is only asserted when the host
+    actually exposes ≥4 CPUs; on smaller hosts the table still records the
+    measured rates (process parallelism cannot beat the in-process path on
+    one core, which the README's "when does it pay" section spells out).
+    """
+    generator = CaidaLikeTraceGenerator(seed=103, flow_population=4_000)
+    packets = list(generator.packets(120_000))
+    budget = 8_000
+
+    def run_parallel(num_workers):
+        with ParallelShardedFlowtree(
+            SCHEMA_4F, FlowtreeConfig(max_nodes=budget), num_workers=num_workers
+        ) as parallel:
+            start = time.perf_counter()
+            parallel.add_batch(packets)
+            tree = parallel.merged_tree()   # joins the outstanding folds
+            elapsed = time.perf_counter() - start
+        return tree, len(packets) / elapsed
+
+    def run():
+        inproc = ShardedFlowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=budget), num_shards=4)
+        start = time.perf_counter()
+        inproc.add_batch(packets)
+        inproc_tree = inproc.merged_tree()
+        inproc_rate = len(packets) / (time.perf_counter() - start)
+        one_tree, one_rate = run_parallel(1)
+        four_tree, four_rate = run_parallel(4)
+        return inproc_tree, one_tree, four_tree, inproc_rate, one_rate, four_rate
+
+    inproc_tree, one_tree, four_tree, inproc_rate, one_rate, four_rate = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+    cpus = _available_cpus()
+    print_header(
+        "CLAIM-PARALLEL",
+        f"process-parallel sharded ingestion ({cpus} CPUs available)",
+    )
+    print(render_table([
+        {"ingestion": "in-process sharded (4)", "updates_per_second": int(inproc_rate),
+         "speedup_vs_1_worker": f"{inproc_rate / one_rate:.2f}x"},
+        {"ingestion": "parallel, 1 worker", "updates_per_second": int(one_rate),
+         "speedup_vs_1_worker": "1.00x"},
+        {"ingestion": "parallel, 4 workers", "updates_per_second": int(four_rate),
+         "speedup_vs_1_worker": f"{four_rate / one_rate:.2f}x"},
+    ]))
+    # Whatever the core count, all paths must account for every packet and
+    # the 4-worker result must be byte-equal to the in-process sharded one.
+    assert one_tree.total_counters() == inproc_tree.total_counters()
+    assert four_tree.total_counters() == inproc_tree.total_counters()
+    from repro.core import to_bytes
+    assert to_bytes(four_tree) == to_bytes(inproc_tree)
+    if cpus >= 4:
+        assert four_rate >= 2.0 * one_rate, (
+            f"4 workers only reached {four_rate / one_rate:.2f}x over 1 worker "
+            f"({int(four_rate)}/s vs {int(one_rate)}/s) on a {cpus}-CPU host"
+        )
+    else:
+        print(f"NOTE: only {cpus} CPU(s) available; >=2x speedup claim not asserted")
 
 
 @pytest.mark.benchmark(group="update-throughput")

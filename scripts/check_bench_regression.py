@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Compare two pytest-benchmark JSON files and flag throughput regressions.
+
+CI runs the update-throughput benchmarks with ``--benchmark-json`` and keeps
+the result around (artifact + cache).  This script compares the current run
+against the previous one, benchmark by benchmark, on the mean wall time of
+each measured run and fails (or, with ``--warn-only``, warns) when any
+benchmark got more than ``--threshold`` slower.
+
+Usage::
+
+    python scripts/check_bench_regression.py previous.json current.json \
+        [--threshold 0.2] [--warn-only]
+
+Exit codes: 0 = no blocking regression (including "no baseline yet" and
+``--warn-only`` mode), 1 = regression beyond the threshold, 2 = unreadable
+input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict
+
+
+def load_benchmark_means(path: Path) -> Dict[str, float]:
+    """``{benchmark name: mean seconds}`` from a pytest-benchmark JSON file."""
+    document = json.loads(path.read_text())
+    means: Dict[str, float] = {}
+    for entry in document.get("benchmarks", []):
+        stats = entry.get("stats") or {}
+        mean = stats.get("mean")
+        if mean is not None:
+            means[entry["name"]] = float(mean)
+    return means
+
+
+def compare(
+    previous: Dict[str, float], current: Dict[str, float], threshold: float
+) -> Dict[str, list]:
+    """Bucket every benchmark into regressed / improved / steady / unmatched."""
+    report = {"regressed": [], "improved": [], "steady": [], "unmatched": []}
+    for name, mean in sorted(current.items()):
+        baseline = previous.get(name)
+        if baseline is None or baseline <= 0:
+            report["unmatched"].append((name, mean))
+            continue
+        ratio = mean / baseline
+        row = (name, baseline, mean, ratio)
+        if ratio > 1.0 + threshold:
+            report["regressed"].append(row)
+        elif ratio < 1.0 - threshold:
+            report["improved"].append(row)
+        else:
+            report["steady"].append(row)
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("previous", type=Path, help="baseline benchmark JSON")
+    parser.add_argument("current", type=Path, help="freshly produced benchmark JSON")
+    parser.add_argument("--threshold", type=float, default=0.2,
+                        help="relative slowdown that counts as a regression "
+                             "(0.2 = 20%% slower)")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but always exit 0 "
+                             "(the non-blocking first stage of the check)")
+    args = parser.parse_args(argv)
+
+    if not args.previous.exists():
+        print(f"no baseline at {args.previous}; nothing to compare (first run?)")
+        return 0
+    try:
+        previous = load_benchmark_means(args.previous)
+        current = load_benchmark_means(args.current)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: could not load benchmark JSON: {exc}", file=sys.stderr)
+        return 2
+
+    report = compare(previous, current, args.threshold)
+    for name, baseline, mean, ratio in report["regressed"]:
+        print(f"REGRESSION {name}: {baseline:.3f}s -> {mean:.3f}s ({ratio:.2f}x slower)")
+    for name, baseline, mean, ratio in report["improved"]:
+        print(f"improved   {name}: {baseline:.3f}s -> {mean:.3f}s ({ratio:.2f}x)")
+    for name, baseline, mean, ratio in report["steady"]:
+        print(f"steady     {name}: {baseline:.3f}s -> {mean:.3f}s ({ratio:.2f}x)")
+    for name, mean in report["unmatched"]:
+        print(f"new        {name}: {mean:.3f}s (no baseline)")
+
+    if report["regressed"]:
+        worst = max(report["regressed"], key=lambda row: row[3])
+        print(
+            f"{len(report['regressed'])} benchmark(s) regressed beyond "
+            f"{args.threshold:.0%} (worst: {worst[0]} at {worst[3]:.2f}x)"
+        )
+        return 0 if args.warn_only else 1
+    print(f"no regression beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

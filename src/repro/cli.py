@@ -29,6 +29,7 @@ from repro.analysis.report import format_bytes, render_kv, render_table
 from repro.core.config import FlowtreeConfig
 from repro.core.flowtree import Flowtree
 from repro.core.key import FlowKey
+from repro.core.parallel import ParallelShardedFlowtree
 from repro.core.serialization import from_bytes, size_report, to_bytes
 from repro.core.sharded import ShardedFlowtree
 from repro.features.schema import schema_by_name
@@ -75,6 +76,10 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--shards", type=int, default=1,
                        help="hash-partition ingestion across N shard trees, "
                             "merged into one summary before writing")
+    build.add_argument("--workers", type=int, default=0,
+                       help="run the shard trees on N worker processes "
+                            "(implies N shards; byte-identical to the "
+                            "in-process sharded path)")
     build.add_argument("input", type=Path)
     build.add_argument("output", type=Path)
 
@@ -127,12 +132,28 @@ def _cmd_build(args: argparse.Namespace) -> int:
     config = FlowtreeConfig(max_nodes=args.max_nodes, policy=args.policy)
     if args.shards < 1:
         raise ValueError(f"--shards must be at least 1, got {args.shards}")
+    if args.workers < 0:
+        raise ValueError(f"--workers must be non-negative, got {args.workers}")
+    if args.workers >= 1 and args.shards > 1 and args.workers != args.shards:
+        raise ValueError(
+            f"--workers {args.workers} conflicts with --shards {args.shards}; "
+            "each worker process owns exactly one shard, so pass only --workers"
+        )
     if args.input_format == "pcap":
         records = read_pcap(args.input)
     else:
         records = read_csv(args.input)
     via = ""
-    if args.shards > 1:
+    if args.workers >= 1:
+        with ParallelShardedFlowtree(schema, config, num_workers=args.workers) as parallel:
+            if args.batch_size and args.batch_size > 0:
+                consumed = parallel.add_batch(records, batch_size=args.batch_size)
+            else:
+                consumed = parallel.add_records(records)
+            tree = parallel.merged_tree()
+        plural = "es" if args.workers != 1 else ""
+        via = f" via {args.workers} worker process{plural}"
+    elif args.shards > 1:
         sharded = ShardedFlowtree(schema, config, num_shards=args.shards)
         if args.batch_size and args.batch_size > 0:
             consumed = sharded.add_batch(records, batch_size=args.batch_size)

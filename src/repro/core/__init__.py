@@ -16,6 +16,7 @@ from repro.core.errors import (
     SchemaMismatchError,
     SerializationError,
     TransportError,
+    WorkerError,
 )
 from repro.core.flowtree import Estimate, Flowtree, UpdateStats
 from repro.core.key import FlowKey
@@ -37,8 +38,23 @@ from repro.core.policy import (
     register_policy,
     schema_max_specificity,
 )
-from repro.core.serialization import from_bytes, from_json, size_report, to_bytes, to_json
-from repro.core.sharded import DEFAULT_NUM_SHARDS, ShardedFlowtree, shard_index
+from repro.core.parallel import ParallelShardedFlowtree, PendingSummaries
+from repro.core.serialization import (
+    decode_aggregated_batch,
+    encode_aggregated_batch,
+    from_bytes,
+    from_json,
+    size_report,
+    to_bytes,
+    to_json,
+)
+from repro.core.sharded import (
+    DEFAULT_NUM_SHARDS,
+    ShardedFlowtree,
+    partition_aggregated,
+    shard_config_for,
+    shard_index,
+)
 from repro.core.estimator import (
     children_of,
     coverage,
@@ -51,7 +67,11 @@ from repro.core.estimator import (
 __all__ = [
     "Flowtree",
     "ShardedFlowtree",
+    "ParallelShardedFlowtree",
+    "PendingSummaries",
     "shard_index",
+    "shard_config_for",
+    "partition_aggregated",
     "DEFAULT_NUM_SHARDS",
     "FlowtreeConfig",
     "PAPER_EVAL_CONFIG",
@@ -68,6 +88,7 @@ __all__ = [
     "QueryError",
     "TransportError",
     "DaemonError",
+    "WorkerError",
     "GeneralizationPolicy",
     "get_policy",
     "available_policies",
@@ -86,6 +107,8 @@ __all__ = [
     "to_json",
     "from_json",
     "size_report",
+    "encode_aggregated_batch",
+    "decode_aggregated_batch",
     "estimate_many",
     "estimate_values",
     "decompose",

@@ -1,13 +1,16 @@
 """Serialization of Flowtree summaries.
 
-Two formats are provided:
+Three formats are provided:
 
 * a **compact binary format** (magic ``FTRE``, varint-encoded counters,
   per-feature wire strings in a shared string table) used for the storage
   and transfer-cost experiments, and
-* a **JSON format** for interoperability, debugging and long-term archival.
+* a **JSON format** for interoperability, debugging and long-term archival,
+* a **compact sub-batch format** (magic ``FTAB``) carrying pre-aggregated
+  ``(key, packets, bytes, flows)`` tuples across the process boundary of
+  the parallel ingestion executor (:mod:`repro.core.parallel`).
 
-Both round-trip exactly: keys, complementary counters, schema and
+All round-trip exactly: keys, complementary counters, schema and
 configuration are preserved, and the decoded tree rebuilds its structure
 through the normal insertion path so all invariants hold.
 """
@@ -174,6 +177,72 @@ def from_bytes(data: bytes) -> Flowtree:
         node.counters.bytes += byte_count
         node.counters.flows += flows
     return tree
+
+
+# -- aggregated sub-batch format -------------------------------------------------
+
+BATCH_MAGIC = b"FTAB"
+BATCH_FORMAT_VERSION = 1
+
+
+def encode_aggregated_batch(
+    items: Iterable[Tuple[FlowKey, int, int, int]], record_count: int
+) -> bytes:
+    """Encode pre-aggregated ``(key, packets, bytes, flows)`` tuples.
+
+    This is the wire form one shard's slice of a batch takes on its way to
+    a worker process: no pickling, no per-record payload — one entry per
+    distinct key, exactly what :meth:`Flowtree.add_aggregated` consumes on
+    the other side.  ``record_count`` is how many raw records the items
+    summarize, carried so the worker's ``updates`` stat advances the same
+    way the in-process path's does.
+    """
+    if record_count < 0:
+        raise SerializationError(f"record_count must be non-negative, got {record_count}")
+    entries = list(items)
+    payload = bytearray()
+    encode_varint(record_count, payload)
+    encode_varint(len(entries), payload)
+    for key, packets, byte_count, flows in entries:
+        parts = key.to_wire()
+        encode_varint(len(parts), payload)
+        for part in parts:
+            _encode_string(part, payload)
+        encode_zigzag(packets, payload)
+        encode_zigzag(byte_count, payload)
+        encode_zigzag(flows, payload)
+    return BATCH_MAGIC + struct.pack(">B", BATCH_FORMAT_VERSION) + bytes(payload)
+
+
+def decode_aggregated_batch(
+    data: bytes, schema: FlowSchema
+) -> Tuple[List[Tuple[FlowKey, int, int, int]], int]:
+    """Decode a sub-batch produced by :func:`encode_aggregated_batch`.
+
+    Returns ``(items, record_count)`` with the items in their original
+    order, so a worker replays exactly the ``add_aggregated`` call the
+    in-process sharded path would have made.
+    """
+    if len(data) < len(BATCH_MAGIC) + 1 or data[: len(BATCH_MAGIC)] != BATCH_MAGIC:
+        raise SerializationError("not an aggregated sub-batch (bad magic)")
+    version = data[len(BATCH_MAGIC)]
+    if version != BATCH_FORMAT_VERSION:
+        raise SerializationError(f"unsupported sub-batch format version {version}")
+    offset = len(BATCH_MAGIC) + 1
+    record_count, offset = decode_varint(data, offset)
+    count, offset = decode_varint(data, offset)
+    items: List[Tuple[FlowKey, int, int, int]] = []
+    for _ in range(count):
+        arity, offset = decode_varint(data, offset)
+        parts = []
+        for _ in range(arity):
+            part, offset = _decode_string(data, offset)
+            parts.append(part)
+        packets, offset = decode_zigzag(data, offset)
+        byte_count, offset = decode_zigzag(data, offset)
+        flows, offset = decode_zigzag(data, offset)
+        items.append((FlowKey.from_wire(schema, parts), packets, byte_count, flows))
+    return items, record_count
 
 
 # -- JSON format ----------------------------------------------------------------

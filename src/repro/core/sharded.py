@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import zlib
 from itertools import islice
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.config import FlowtreeConfig
 from repro.core.errors import ConfigurationError
@@ -49,6 +49,46 @@ def shard_index(key: FlowKey, num_shards: int) -> int:
     """
     digest = zlib.crc32("|".join(key.to_wire()).encode("utf-8"))
     return digest % num_shards
+
+
+def shard_config_for(config: FlowtreeConfig, num_shards: int) -> FlowtreeConfig:
+    """Per-shard configuration: the total node budget split evenly.
+
+    Each shard keeps at least the minimum viable 16 nodes, so very small
+    budgets with many shards may slightly overshoot the total.  Shared by
+    :class:`ShardedFlowtree` and the process-parallel executor so both
+    paths build identically configured shard trees.
+    """
+    if config.max_nodes is None:
+        return config
+    return config.with_max_nodes(max(16, config.max_nodes // num_shards))
+
+
+def partition_aggregated(
+    chunk: List[object],
+    schema: FlowSchema,
+    count_bytes: bool,
+    num_shards: int,
+) -> Tuple[List[List[Tuple[FlowKey, int, int, int]]], List[int]]:
+    """Pre-aggregate one chunk of records and partition it by shard.
+
+    Returns ``(per_shard_items, per_shard_record_counts)``: for every shard
+    the ``(key, packets, bytes, flows)`` tuples it must fold (in first-seen
+    order) and how many raw records those tuples summarize.  This is the
+    single partitioning step both the in-process :class:`ShardedFlowtree`
+    and the process-parallel executor go through, which is what makes the
+    two paths byte-identical — they cannot disagree on placement or on the
+    per-shard fold order.
+    """
+    pending = preaggregate_records(chunk, schema.signature_of, count_bytes)
+    per_shard: List[List[Tuple[FlowKey, int, int, int]]] = [[] for _ in range(num_shards)]
+    per_shard_records = [0] * num_shards
+    for entry in pending.values():
+        key = FlowKey.from_record(schema, entry[3])
+        index = shard_index(key, num_shards)
+        per_shard[index].append((key, entry[0], entry[1], entry[2]))
+        per_shard_records[index] += entry[2]
+    return per_shard, per_shard_records
 
 
 class ShardedFlowtree:
@@ -80,15 +120,38 @@ class ShardedFlowtree:
         self._schema = schema
         self._config = config or FlowtreeConfig()
         self._num_shards = num_shards
-        if self._config.max_nodes is None:
-            shard_config = self._config
-        else:
-            shard_config = self._config.with_max_nodes(
-                max(16, self._config.max_nodes // num_shards)
-            )
+        shard_config = shard_config_for(self._config, num_shards)
         self._shards: Tuple[Flowtree, ...] = tuple(
             Flowtree(schema, shard_config) for _ in range(num_shards)
         )
+        self._records_ingested = 0
+
+    @classmethod
+    def from_shard_trees(
+        cls,
+        schema: FlowSchema,
+        config: Optional[FlowtreeConfig],
+        trees: Sequence[Flowtree],
+        records_ingested: int = 0,
+    ) -> "ShardedFlowtree":
+        """Wrap already-built shard trees (e.g. decoded worker summaries).
+
+        The trees must have been partitioned by :func:`shard_index` over
+        ``len(trees)`` shards for queries to be meaningful; this is how the
+        process-parallel executor materializes a queryable local view from
+        the per-worker summaries it pulls back.
+        """
+        if not trees:
+            raise ConfigurationError("from_shard_trees needs at least one shard tree")
+        # Runs on every pipelined bin finalize, so skip __init__ rather than
+        # build len(trees) empty shard trees only to discard them.
+        view = cls.__new__(cls)
+        view._schema = schema
+        view._config = config or FlowtreeConfig()
+        view._num_shards = len(trees)
+        view._shards = tuple(trees)
+        view._records_ingested = records_ingested
+        return view
 
     # -- basic properties -----------------------------------------------------
 
@@ -130,6 +193,7 @@ class ShardedFlowtree:
         self._shards[self.shard_for_key(key)].add(
             key, packets=packets, bytes=bytes, flows=flows
         )
+        self._records_ingested += 1
 
     def add_record(self, record: object) -> None:
         """Charge one flow/packet record to the shard owning its key."""
@@ -139,6 +203,7 @@ class ShardedFlowtree:
         self._shards[self.shard_for_key(key)].add(
             key, packets=packets, bytes=record_bytes, flows=1
         )
+        self._records_ingested += 1
 
     def add_records(self, records: Iterable[object]) -> int:
         """Per-record ingestion of an iterable; returns records consumed."""
@@ -160,10 +225,6 @@ class ShardedFlowtree:
         per-record costs are paid once no matter how many shards exist.
         """
         iterator = iter(records)
-        schema = self._schema
-        signature_of = schema.signature_of
-        count_bytes = self._config.count_bytes
-        num_shards = self._num_shards
         consumed = 0
         while True:
             if batch_size and batch_size > 0:
@@ -172,22 +233,16 @@ class ShardedFlowtree:
                 chunk = list(iterator)
             if not chunk:
                 break
-            pending = preaggregate_records(chunk, signature_of, count_bytes)
-            per_shard: List[List[Tuple[FlowKey, int, int, int]]] = [
-                [] for _ in range(num_shards)
-            ]
-            per_shard_records = [0] * num_shards
-            for entry in pending.values():
-                key = FlowKey.from_record(schema, entry[3])
-                index = shard_index(key, num_shards)
-                per_shard[index].append((key, entry[0], entry[1], entry[2]))
-                per_shard_records[index] += entry[2]
+            per_shard, per_shard_records = partition_aggregated(
+                chunk, self._schema, self._config.count_bytes, self._num_shards
+            )
             for index, items in enumerate(per_shard):
                 if items:
                     self._shards[index].add_aggregated(
                         items, record_count=per_shard_records[index]
                     )
             consumed += len(chunk)
+        self._records_ingested += consumed
         return consumed
 
     # -- queries and export ----------------------------------------------------
@@ -261,12 +316,32 @@ class ShardedFlowtree:
         for shard in self._shards:
             shard.validate()
 
+    @property
+    def records_ingested(self) -> int:
+        """Raw records charged through any ingestion path of this structure.
+
+        ``add``/``add_record``/``add_records``/``add_batch`` all advance
+        this by exactly the count they return, so benchmarks and the daemon
+        can compare ingestion paths on one number.
+        """
+        return self._records_ingested
+
     def stats_snapshot(self) -> Dict[str, int]:
-        """Aggregated work counters over all shards (plain dict)."""
+        """Aggregated work counters over all shards (plain dict).
+
+        Alongside the summed per-shard :class:`~repro.core.flowtree.UpdateStats`
+        counters, the snapshot reports the structure-level numbers the
+        parallel executor also exposes (``shards``, ``nodes``,
+        ``records_ingested``) so the two ingestion modes are comparable
+        row-for-row in reports.
+        """
         totals: Dict[str, int] = {}
         for shard in self._shards:
             for name, value in shard.stats.snapshot().items():
                 totals[name] = totals.get(name, 0) + value
+        totals["shards"] = self._num_shards
+        totals["nodes"] = self.node_count()
+        totals["records_ingested"] = self._records_ingested
         return totals
 
     def __repr__(self) -> str:

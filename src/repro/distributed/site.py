@@ -57,7 +57,12 @@ class Deployment:
         daemon_config: Optional[FlowtreeConfig] = None,
         use_diffs: bool = True,
         alert_policy: Optional[AlertPolicy] = None,
+        daemon_workers: int = 0,
     ) -> None:
+        """``daemon_workers > 0`` gives every site's daemon that many shard
+        worker processes (pipelined bin export); ``0`` keeps the daemons
+        single-process.  Worker deployments should be :meth:`close`\\ d (or
+        used as a context manager) so the processes are reaped."""
         if not site_names:
             raise DaemonError("a deployment needs at least one site")
         self._schema = schema
@@ -73,6 +78,7 @@ class Deployment:
                 bin_width=bin_width,
                 config=daemon_config,
                 use_diffs=use_diffs,
+                workers=daemon_workers,
             )
             self._sites[name] = MonitoringSite(name=name, daemon=daemon)
         self._engine = DistributedQueryEngine(self._collector)
@@ -139,6 +145,32 @@ class Deployment:
     def alerts(self) -> List[Alert]:
         """All alerts raised during the replay."""
         return self._alerts.alerts
+
+    def worker_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-site executor stats (empty dicts for single-process daemons)."""
+        return {name: self.daemon(name).worker_stats() for name in self.site_names}
+
+    def close(self) -> None:
+        """Flush every daemon and shut their worker pools down (idempotent).
+
+        Every site is closed even if an earlier one fails mid-flush; the
+        first failure is re-raised once the rest are shut down.
+        """
+        first_error: Optional[BaseException] = None
+        for name in self.site_names:
+            try:
+                self.daemon(name).close()
+            except Exception as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+
+    def __enter__(self) -> "Deployment":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     def transfer_bytes(self) -> int:
         """Total bytes shipped from daemons to the collector (incl. framing)."""

@@ -50,6 +50,19 @@ def make_record(
     )
 
 
+@dataclass
+class TimedRecord(SimpleRecord):
+    """A :class:`SimpleRecord` with a timestamp, for daemon/bin tests."""
+
+    timestamp: float = 0.0
+
+
+def make_timed_record(timestamp: float, **kwargs) -> TimedRecord:
+    """Convenience constructor: a timestamped record with dotted-quad addresses."""
+    base = make_record(**kwargs)
+    return TimedRecord(timestamp=timestamp, **base.__dict__)
+
+
 def key4(src: str, dst: str, sport: str, dport: str) -> FlowKey:
     """Build a 4-feature key from wire strings ('*' for wildcards)."""
     return FlowKey.from_wire(SCHEMA_4F, (src, dst, sport, dport))
@@ -60,4 +73,11 @@ def key2(src: str, dst: str) -> FlowKey:
     return FlowKey.from_wire(SCHEMA_2F_SRC_DST, (src, dst))
 
 
-__all__ = ["SimpleRecord", "make_record", "key4", "key2"]
+__all__ = [
+    "SimpleRecord",
+    "TimedRecord",
+    "make_record",
+    "make_timed_record",
+    "key4",
+    "key2",
+]

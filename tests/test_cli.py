@@ -51,6 +51,29 @@ class TestCommands:
         assert 1 < tree.node_count() <= 1_000
         assert tree.total_counters().packets == 8_000
 
+    def test_build_workers_matches_in_process_shards(self, trace_csv, tmp_path, capsys):
+        by_workers = tmp_path / "workers.ft"
+        by_shards = tmp_path / "shards.ft"
+        assert main(["build", "--max-nodes", "1000", "--workers", "2",
+                     str(trace_csv), str(by_workers)]) == 0
+        assert "via 2 worker processes" in capsys.readouterr().out
+        assert main(["build", "--max-nodes", "1000", "--shards", "2",
+                     str(trace_csv), str(by_shards)]) == 0
+        assert by_workers.read_bytes() == by_shards.read_bytes()
+
+    def test_build_single_worker_still_uses_a_process(self, trace_csv, tmp_path, capsys):
+        path = tmp_path / "one.ft"
+        assert main(["build", "--max-nodes", "1000", "--workers", "1",
+                     str(trace_csv), str(path)]) == 0
+        assert "via 1 worker process" in capsys.readouterr().out
+        tree = from_bytes(path.read_bytes())
+        assert tree.total_counters().packets == 8_000
+
+    def test_build_workers_conflicting_shards_fails(self, trace_csv, tmp_path, capsys):
+        assert main(["build", "--workers", "4", "--shards", "2",
+                     str(trace_csv), str(tmp_path / "x.ft")]) == 1
+        assert "conflicts" in capsys.readouterr().err
+
     def test_info(self, summary_file, capsys):
         assert main(["info", str(summary_file)]) == 0
         output = capsys.readouterr().out

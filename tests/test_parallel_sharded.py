@@ -1,0 +1,325 @@
+"""Process-parallel sharded ingestion: equivalence and fault tolerance.
+
+The executor's contract is the strongest one the codebase makes:
+
+* ``ParallelShardedFlowtree`` must be **byte-identical** to the in-process
+  ``ShardedFlowtree`` for any stream, any worker count and any node budget
+  — including across compaction boundaries — because both run the same
+  partition step and the workers fold the same ``add_aggregated`` calls in
+  the same order;
+* with compaction disabled both must reproduce the single unsharded tree
+  exactly (``items()``, ``total_counters()``, ``estimate()`` and serialized
+  bytes);
+* a worker crash mid-stream must be invisible: the checkpoint + journal
+  replay makes every sub-batch fold exactly once.
+
+Worker pools are reused across hypothesis examples (reset via a
+summarize-and-reset round) so the property tests do not pay a process
+spawn per example.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import SimpleRecord, make_record
+
+from repro.core import (
+    Flowtree,
+    FlowtreeConfig,
+    ParallelShardedFlowtree,
+    ShardedFlowtree,
+    WorkerError,
+    decode_aggregated_batch,
+    encode_aggregated_batch,
+    from_bytes,
+    to_bytes,
+)
+from repro.core.errors import SerializationError
+from repro.core.key import FlowKey
+from repro.features.schema import SCHEMA_4F
+
+
+def _record(src_host, dst_host, sport, dport, packets):
+    return SimpleRecord(
+        src_ip=(10 << 24) | src_host,
+        dst_ip=(192 << 24) | (168 << 16) | dst_host,
+        src_port=1024 + sport,
+        dst_port=dport,
+        packets=packets,
+        bytes=packets * 100,
+    )
+
+
+# Small domains force duplicates, shared chain prefixes and shard collisions.
+records_strategy = st.lists(
+    st.builds(
+        _record,
+        src_host=st.integers(0, 40),
+        dst_host=st.integers(0, 6),
+        sport=st.integers(0, 10),
+        dport=st.sampled_from([53, 80, 443]),
+        packets=st.integers(1, 5),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+UNBOUNDED = FlowtreeConfig(max_nodes=None)
+BOUNDED = FlowtreeConfig(max_nodes=64, victim_batch=8)
+
+
+def _items_map(summary):
+    """``items()`` as a per-key counter map (shard roots share one key)."""
+    from repro.core import Counters
+
+    totals = {}
+    for key, counters in summary.items():
+        totals.setdefault(key, Counters()).add(counters)
+    return totals
+
+_POOLS = {}
+
+
+def _pool(num_workers: int, config: FlowtreeConfig) -> ParallelShardedFlowtree:
+    """A reusable worker pool, reset to empty shard trees."""
+    key = (num_workers, config.max_nodes)
+    pool = _POOLS.get(key)
+    if pool is None:
+        pool = ParallelShardedFlowtree(SCHEMA_4F, config, num_workers=num_workers)
+        _POOLS[key] = pool
+    else:
+        pool.shard_summaries(reset=True)
+    return pool
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _close_pools():
+    yield
+    while _POOLS:
+        _POOLS.popitem()[1].close()
+
+
+class TestAggregatedBatchWireFormat:
+    def test_round_trip_preserves_order_and_counts(self):
+        items = [
+            (FlowKey.from_record(SCHEMA_4F, make_record(src=f"10.3.{i}.1", sport=2000 + i)),
+             3 * i + 1, 50 * i, i % 4)
+            for i in range(25)
+        ]
+        payload = encode_aggregated_batch(items, record_count=123)
+        decoded, record_count = decode_aggregated_batch(payload, SCHEMA_4F)
+        assert record_count == 123
+        assert decoded == items
+
+    def test_negative_counters_round_trip(self):
+        # Diff-like payloads carry negative counters; zig-zag must keep them.
+        key = FlowKey.from_record(SCHEMA_4F, make_record())
+        payload = encode_aggregated_batch([(key, -5, -1_000, -1)], record_count=0)
+        decoded, _ = decode_aggregated_batch(payload, SCHEMA_4F)
+        assert decoded == [(key, -5, -1_000, -1)]
+
+    def test_bad_magic_and_truncation_raise(self):
+        key = FlowKey.from_record(SCHEMA_4F, make_record())
+        payload = encode_aggregated_batch([(key, 1, 0, 1)], record_count=1)
+        with pytest.raises(SerializationError):
+            decode_aggregated_batch(b"XXXX" + payload[4:], SCHEMA_4F)
+        with pytest.raises(SerializationError):
+            decode_aggregated_batch(payload[:-3], SCHEMA_4F)
+        with pytest.raises(SerializationError):
+            encode_aggregated_batch([], record_count=-1)
+
+
+class TestParallelEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(records=records_strategy, num_workers=st.sampled_from([1, 2, 4]))
+    def test_unbounded_matches_sharded_and_single_tree(self, records, num_workers):
+        """Property: parallel == in-process sharded == single tree, exactly."""
+        single = Flowtree(SCHEMA_4F, UNBOUNDED)
+        for record in records:
+            single.add_record(record)
+        sharded = ShardedFlowtree(SCHEMA_4F, UNBOUNDED, num_shards=num_workers)
+        sharded.add_batch(records, batch_size=32)
+
+        parallel = _pool(num_workers, UNBOUNDED)
+        consumed = parallel.add_batch(records, batch_size=32)
+        assert consumed == len(records)
+
+        assert _items_map(parallel) == _items_map(sharded)
+        assert parallel.total_counters() == sharded.total_counters() == single.total_counters()
+        assert to_bytes(parallel.merged_tree()) == to_bytes(sharded.merged_tree())
+        assert to_bytes(parallel.merged_tree()) == to_bytes(single)
+        parallel.validate()
+
+        root = FlowKey.root(SCHEMA_4F)
+        probe = FlowKey.from_record(SCHEMA_4F, records[0])
+        generalized = probe.generalize_feature(0).generalize_feature(3)
+        for key in (root, probe, generalized):
+            assert parallel.estimate(key).counters == sharded.estimate(key).counters
+            assert parallel.estimate(key).counters == single.estimate(key).counters
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        records=records_strategy,
+        num_workers=st.sampled_from([1, 2, 4]),
+        batch_size=st.sampled_from([0, 7, 50]),
+    )
+    def test_bounded_byte_identical_across_compaction(self, records, num_workers, batch_size):
+        """Property: with a tight budget (compaction firing), the parallel
+        path still serializes shard-for-shard to the in-process bytes."""
+        sharded = ShardedFlowtree(SCHEMA_4F, BOUNDED, num_shards=num_workers)
+        sharded.add_batch(records, batch_size=batch_size)
+
+        parallel = _pool(num_workers, BOUNDED)
+        parallel.add_batch(records, batch_size=batch_size)
+
+        shard_payloads = parallel.shard_summaries()
+        expected = [to_bytes(shard, compress=False) for shard in sharded.shards]
+        assert shard_payloads == expected
+        assert to_bytes(parallel.merged_tree()) == to_bytes(sharded.merged_tree())
+
+    @settings(max_examples=10, deadline=None)
+    @given(records=records_strategy)
+    def test_add_records_matches_in_process_per_record_path(self, records):
+        sharded = ShardedFlowtree(SCHEMA_4F, UNBOUNDED, num_shards=2)
+        assert sharded.add_records(records) == len(records)
+        parallel = _pool(2, UNBOUNDED)
+        assert parallel.add_records(records) == len(records)
+        assert to_bytes(parallel.merged_tree()) == to_bytes(sharded.merged_tree())
+
+    def test_generation_reset_isolates_batches(self, packet_stream_small):
+        """summarize-and-reset (the daemon's bin rollover) splits the stream
+        into independent generations, each equal to a fresh in-process run."""
+        half = len(packet_stream_small) // 2
+        parallel = _pool(2, UNBOUNDED)
+        parallel.add_batch(packet_stream_small[:half], batch_size=0)
+        pending = parallel.begin_summaries(reset=True)
+        parallel.add_batch(packet_stream_small[half:], batch_size=0)
+
+        first = ShardedFlowtree(SCHEMA_4F, UNBOUNDED, num_shards=2)
+        first.add_batch(packet_stream_small[:half], batch_size=0)
+        assert pending.collect() == [to_bytes(s, compress=False) for s in first.shards]
+
+        second = ShardedFlowtree(SCHEMA_4F, UNBOUNDED, num_shards=2)
+        second.add_batch(packet_stream_small[half:], batch_size=0)
+        assert to_bytes(parallel.merged_tree()) == to_bytes(second.merged_tree())
+
+
+class TestWorkerFaultTolerance:
+    def test_crash_mid_stream_neither_drops_nor_double_counts(self, packet_stream_small):
+        reference = ShardedFlowtree(SCHEMA_4F, UNBOUNDED, num_shards=2)
+        reference.add_batch(packet_stream_small, batch_size=256)
+        with ParallelShardedFlowtree(SCHEMA_4F, UNBOUNDED, num_workers=2) as parallel:
+            third = len(packet_stream_small) // 3
+            parallel.add_batch(packet_stream_small[:third], batch_size=256)
+            parallel.inject_worker_failure(0)
+            parallel.add_batch(packet_stream_small[third:], batch_size=256)
+            assert parallel.total_counters() == reference.total_counters()
+            assert to_bytes(parallel.merged_tree()) == to_bytes(reference.merged_tree())
+            snapshot = parallel.stats_snapshot()
+            assert snapshot["worker_restarts"] == 1
+            assert snapshot["records_ingested"] == len(packet_stream_small)
+
+    def test_crash_after_checkpoint_replays_only_the_tail(self, packet_stream_small):
+        """A collected summary becomes the checkpoint; the journal replayed
+        after a later crash holds only the batches sent since."""
+        half = len(packet_stream_small) // 2
+        reference = ShardedFlowtree(SCHEMA_4F, UNBOUNDED, num_shards=2)
+        reference.add_batch(packet_stream_small, batch_size=128)
+        with ParallelShardedFlowtree(SCHEMA_4F, UNBOUNDED, num_workers=2) as parallel:
+            parallel.add_batch(packet_stream_small[:half], batch_size=128)
+            parallel.shard_summaries()   # checkpoint both workers
+            parallel.add_batch(packet_stream_small[half:], batch_size=128)
+            parallel.inject_worker_failure(1)
+            assert parallel.total_counters() == reference.total_counters()
+            assert to_bytes(parallel.merged_tree()) == to_bytes(reference.merged_tree())
+
+    def test_crash_with_summary_in_flight_recovers_the_bin(self, packet_stream_small):
+        """The daemon's worst case: a worker dies between a bin's
+        summarize-and-reset and its collection, with next-bin batches
+        already queued behind it.  Both generations must survive."""
+        half = len(packet_stream_small) // 2
+        with ParallelShardedFlowtree(SCHEMA_4F, UNBOUNDED, num_workers=2) as parallel:
+            parallel.add_batch(packet_stream_small[:half], batch_size=0)
+            pending = parallel.begin_summaries(reset=True)
+            parallel.inject_worker_failure(0)
+            parallel.add_batch(packet_stream_small[half:], batch_size=0)
+            first = ShardedFlowtree(SCHEMA_4F, UNBOUNDED, num_shards=2)
+            first.add_batch(packet_stream_small[:half], batch_size=0)
+            assert pending.collect() == [to_bytes(s, compress=False) for s in first.shards]
+            second = ShardedFlowtree(SCHEMA_4F, UNBOUNDED, num_shards=2)
+            second.add_batch(packet_stream_small[half:], batch_size=0)
+            assert to_bytes(parallel.merged_tree()) == to_bytes(second.merged_tree())
+            assert parallel.stats_snapshot()["worker_restarts"] >= 1
+
+    def test_closed_executor_refuses_work(self):
+        parallel = ParallelShardedFlowtree(SCHEMA_4F, UNBOUNDED, num_workers=1)
+        parallel.close()
+        parallel.close()   # idempotent
+        with pytest.raises(WorkerError):
+            parallel.add_batch([make_record()])
+
+    def test_journal_is_bounded_by_periodic_checkpoints(self):
+        """Long streams must not grow the replay buffer without bound: the
+        executor checkpoints once any journal reaches 256 sub-batches."""
+        records = [make_record(sport=1000 + i) for i in range(300)]
+        with ParallelShardedFlowtree(SCHEMA_4F, UNBOUNDED, num_workers=1) as parallel:
+            parallel.add_records(records)   # one sub-batch per record
+            snapshot = parallel.stats_snapshot()
+            assert snapshot["journal_entries"] < 256
+            assert parallel.total_counters().packets == len(records)
+
+    def test_unregistered_schema_rejected_up_front(self):
+        from repro.core import ConfigurationError
+        from repro.features.schema import FlowSchema
+
+        custom = FlowSchema("4f", ["src_ip", "dst_ip", "src_port", "protocol"])
+        with pytest.raises(ConfigurationError):
+            ParallelShardedFlowtree(custom, UNBOUNDED, num_workers=1)
+        with pytest.raises(ConfigurationError):
+            ParallelShardedFlowtree(
+                FlowSchema("no-such-schema", ["src_ip"]), UNBOUNDED, num_workers=1
+            )
+
+
+class TestViewFreshness:
+    def test_reset_invalidates_cached_queries(self):
+        records = [make_record(sport=3000 + i) for i in range(20)]
+        parallel = _pool(2, UNBOUNDED)
+        parallel.add_batch(records, batch_size=0)
+        assert parallel.total_counters().packets == 20   # populates the view
+        parallel.shard_summaries(reset=True)
+        assert parallel.total_counters().packets == 0
+        assert parallel.node_count() == 2   # just the shard roots
+
+
+class TestComparableStats:
+    def test_snapshot_keys_match_in_process_sharded(self, packet_stream_small):
+        sharded = ShardedFlowtree(SCHEMA_4F, UNBOUNDED, num_shards=2)
+        sharded.add_batch(packet_stream_small, batch_size=512)
+        with ParallelShardedFlowtree(SCHEMA_4F, UNBOUNDED, num_workers=2) as parallel:
+            parallel.add_batch(packet_stream_small, batch_size=512)
+            in_process = sharded.stats_snapshot()
+            executor = parallel.stats_snapshot()
+        # The shared vocabulary benchmarks and the daemon compare on.
+        for key in ("updates", "inserts", "shards", "nodes", "records_ingested"):
+            assert executor[key] == in_process[key], key
+        # Executor-only queue/process stats ride along.
+        assert executor["workers"] == 2
+        assert executor["batches_submitted"] >= 2
+        assert executor["submitted_payload_bytes"] > 0
+        assert executor["worker_restarts"] == 0
+        assert sharded.records_ingested == parallel.records_ingested
+
+    def test_ingested_count_consistent_across_paths(self):
+        records = [make_record(sport=2000 + i) for i in range(30)]
+        sharded = ShardedFlowtree(SCHEMA_4F, UNBOUNDED, num_shards=3)
+        total = 0
+        total += sharded.add_records(records[:10])
+        total += sharded.add_batch(records[10:25])
+        for record in records[25:]:
+            sharded.add_record(record)
+            total += 1
+        assert total == len(records)
+        assert sharded.records_ingested == len(records)
+        assert sharded.stats_snapshot()["records_ingested"] == len(records)

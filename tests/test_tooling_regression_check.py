@@ -1,0 +1,69 @@
+"""The CI benchmark-regression checker (scripts/check_bench_regression.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "check_bench_regression.py"
+_spec = importlib.util.spec_from_file_location("check_bench_regression", _SCRIPT)
+check = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check)
+
+
+def _write(path: Path, means: dict) -> Path:
+    document = {
+        "benchmarks": [
+            {"name": name, "stats": {"mean": mean}} for name, mean in means.items()
+        ]
+    }
+    path.write_text(json.dumps(document))
+    return path
+
+
+class TestCompare:
+    def test_buckets_regressions_improvements_and_new(self):
+        previous = {"a": 1.0, "b": 1.0, "c": 1.0}
+        current = {"a": 1.5, "b": 0.5, "c": 1.05, "d": 2.0}
+        report = check.compare(previous, current, threshold=0.2)
+        assert [row[0] for row in report["regressed"]] == ["a"]
+        assert [row[0] for row in report["improved"]] == ["b"]
+        assert [row[0] for row in report["steady"]] == ["c"]
+        assert [name for name, _ in report["unmatched"]] == ["d"]
+
+    def test_threshold_is_inclusive_boundary(self):
+        report = check.compare({"a": 1.0}, {"a": 1.2}, threshold=0.2)
+        assert not report["regressed"]          # exactly 20% slower is tolerated
+        report = check.compare({"a": 1.0}, {"a": 1.2000001}, threshold=0.2)
+        assert report["regressed"]
+
+
+class TestMain:
+    def test_regression_fails_unless_warn_only(self, tmp_path, capsys):
+        previous = _write(tmp_path / "prev.json", {"bench": 1.0})
+        current = _write(tmp_path / "cur.json", {"bench": 2.0})
+        assert check.main([str(previous), str(current)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        assert check.main([str(previous), str(current), "--warn-only"]) == 0
+
+    def test_clean_run_passes(self, tmp_path, capsys):
+        previous = _write(tmp_path / "prev.json", {"bench": 1.0})
+        current = _write(tmp_path / "cur.json", {"bench": 1.1})
+        assert check.main([str(previous), str(current)]) == 0
+        assert "no regression" in capsys.readouterr().out
+
+    def test_missing_baseline_is_not_an_error(self, tmp_path, capsys):
+        current = _write(tmp_path / "cur.json", {"bench": 1.0})
+        assert check.main([str(tmp_path / "absent.json"), str(current)]) == 0
+        assert "no baseline" in capsys.readouterr().out
+
+    def test_unreadable_input_exits_2(self, tmp_path):
+        previous = _write(tmp_path / "prev.json", {"bench": 1.0})
+        broken = tmp_path / "cur.json"
+        broken.write_text("{not json")
+        assert check.main([str(previous), str(broken)]) == 2
+
+    def test_loader_reads_pytest_benchmark_schema(self, tmp_path):
+        path = _write(tmp_path / "bench.json", {"x": 0.25, "y": 3.5})
+        assert check.load_benchmark_means(path) == {"x": 0.25, "y": 3.5}
