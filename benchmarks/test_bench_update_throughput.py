@@ -15,6 +15,7 @@ baselines, which pay O(levels) per packet.
 """
 
 import os
+import statistics
 import time
 
 import pytest
@@ -113,32 +114,50 @@ def test_batched_ingestion_speedup(benchmark):
     flows, 120 k packets, an 8 k-node budget.  ``add_batch`` pre-aggregates
     duplicates per batch, builds one key per distinct flow and amortizes
     the compaction check, which is where the speedup comes from.
+
+    Every path is measured three times and the claim ratio uses the
+    medians; the ratio is recorded as ``rel_batch_speedup`` in
+    ``extra_info``, which is what CI's benchmark-regression gate compares
+    across runs (ratios of same-process measurements are robust to runner
+    speed, absolute rates are not).
     """
     generator = CaidaLikeTraceGenerator(seed=102, flow_population=4_000)
     packets = list(generator.packets(120_000))
     budget = 8_000
 
     def run():
-        loop_tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=budget))
-        start = time.perf_counter()
-        loop_tree.add_records(packets)
-        loop_rate = len(packets) / (time.perf_counter() - start)
+        loop_rates, batch_rates, sharded_rates = [], [], []
+        for _ in range(3):
+            loop_tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=budget))
+            start = time.perf_counter()
+            loop_tree.add_records(packets)
+            loop_rates.append(len(packets) / (time.perf_counter() - start))
 
-        batch_tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=budget))
-        start = time.perf_counter()
-        batch_tree.add_batch(packets)
-        batch_rate = len(packets) / (time.perf_counter() - start)
+            batch_tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=budget))
+            start = time.perf_counter()
+            batch_tree.add_batch(packets)
+            batch_rates.append(len(packets) / (time.perf_counter() - start))
 
-        sharded = ShardedFlowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=budget), num_shards=4)
-        start = time.perf_counter()
-        sharded.add_batch(packets)
-        sharded_rate = len(packets) / (time.perf_counter() - start)
-        return loop_tree, batch_tree, sharded, loop_rate, batch_rate, sharded_rate
+            sharded = ShardedFlowtree(
+                SCHEMA_4F, FlowtreeConfig(max_nodes=budget), num_shards=4
+            )
+            start = time.perf_counter()
+            sharded.add_batch(packets)
+            sharded_rates.append(len(packets) / (time.perf_counter() - start))
+        return (
+            loop_tree, batch_tree, sharded,
+            statistics.median(loop_rates),
+            statistics.median(batch_rates),
+            statistics.median(sharded_rates),
+        )
 
     loop_tree, batch_tree, sharded, loop_rate, batch_rate, sharded_rate = (
         benchmark.pedantic(run, rounds=1, iterations=1)
     )
-    print_header("CLAIM-BATCH", "batched + sharded ingestion vs the per-record loop")
+    benchmark.extra_info["rel_batch_speedup"] = round(batch_rate / loop_rate, 3)
+    benchmark.extra_info["rel_sharded_speedup"] = round(sharded_rate / loop_rate, 3)
+    print_header("CLAIM-BATCH",
+                 "batched + sharded ingestion vs the per-record loop (median of 3)")
     print(render_table([
         {"ingestion": "per-record add_records", "updates_per_second": int(loop_rate),
          "speedup": "1.00x"},
@@ -160,13 +179,85 @@ def test_batched_ingestion_speedup(benchmark):
 
 
 @pytest.mark.benchmark(group="update-throughput")
+def test_rebuild_compaction_speedup(benchmark):
+    """CLAIM-COMPACT: bulk rebuild >= 4x incremental ingest at budget = flows/10.
+
+    The budget ≪ distinct-flows regime is the paper's headline use case
+    (summarize far more flows than the tree can hold) and the one where
+    incremental victim rounds degenerate: every batch materializes the
+    working set as tree nodes and then dismantles most of it again.  The
+    rebuild compactor folds the kept nodes plus the batch bottom-up in one
+    token-space pass instead (``compaction="rebuild"``), and ``"auto"``
+    must select it by itself from the batch overshoot.
+
+    Median-of-3 per mode; the incremental-vs-rebuild ratio is recorded as
+    ``rel_compact_speedup`` for CI's gating regression check.
+    """
+    generator = CaidaLikeTraceGenerator(seed=104, flow_population=400_000)
+    packets = list(generator.packets(80_000))
+    distinct = len({SCHEMA_4F.signature_of(p) for p in packets})
+    budget = max(16, distinct // 10)
+
+    def ingest(mode):
+        tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=budget, compaction=mode))
+        start = time.perf_counter()
+        tree.add_batch(packets)
+        return tree, len(packets) / (time.perf_counter() - start)
+
+    def run():
+        results = {}
+        for mode in ("incremental", "rebuild", "auto"):
+            rates = []
+            for _ in range(3):
+                tree, rate = ingest(mode)
+                rates.append(rate)
+            results[mode] = (tree, statistics.median(rates))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    incremental_rate = results["incremental"][1]
+    rebuild_rate = results["rebuild"][1]
+    auto_rate = results["auto"][1]
+    benchmark.extra_info["rel_compact_speedup"] = round(rebuild_rate / incremental_rate, 3)
+    benchmark.extra_info["rel_compact_auto_speedup"] = round(auto_rate / incremental_rate, 3)
+    benchmark.extra_info["distinct_flows"] = distinct
+    benchmark.extra_info["node_budget"] = budget
+    print_header(
+        "CLAIM-COMPACT",
+        f"compaction strategies at budget = distinct/10 "
+        f"({distinct} flows, {budget} nodes; median of 3)",
+    )
+    print(render_table([
+        {"compaction": mode, "updates_per_second": int(results[mode][1]),
+         "speedup": f"{results[mode][1] / incremental_rate:.2f}x",
+         "final_nodes": len(results[mode][0]),
+         "rebuilds": results[mode][0].stats.rebuilds}
+        for mode in ("incremental", "rebuild", "auto")
+    ]))
+    # Every strategy conserves every counter.
+    reference = results["incremental"][0].total_counters()
+    assert results["rebuild"][0].total_counters() == reference
+    assert results["auto"][0].total_counters() == reference
+    # auto must have dispatched to the rebuild strategy in this regime.
+    assert results["auto"][0].stats.rebuilds > 0
+    # The tentpole claim: >= 4x batched-ingest throughput over incremental.
+    assert rebuild_rate >= 4.0 * incremental_rate, (
+        f"bulk rebuild only reached {rebuild_rate / incremental_rate:.2f}x "
+        f"({int(rebuild_rate)}/s vs {int(incremental_rate)}/s)"
+    )
+    assert auto_rate >= 2.0 * incremental_rate
+
+
+@pytest.mark.benchmark(group="update-throughput")
 def test_parallel_sharded_ingestion_speedup(benchmark):
     """CLAIM-PARALLEL: process-parallel sharded ingestion on multi-core hosts.
 
     Same paper-like regime as CLAIM-BATCH (working set fits the budget).
     Measured end to end — partition + ship + fold + join on the merged
-    summary — so pickling/pipe overhead is charged against the win.  The
-    ≥2x four-worker-vs-one-worker claim is only asserted when the host
+    summary — so pickling/pipe overhead is charged against the win.  Rates
+    are medians of three runs (the benchmarks job gates, so one noisy
+    shared-runner measurement must not block a merge).  The ≥2x
+    four-worker-vs-one-worker claim is only asserted when the host
     actually exposes ≥4 CPUs; on smaller hosts the table still records the
     measured rates (process parallelism cannot beat the in-process path on
     one core, which the README's "when does it pay" section spells out).
@@ -186,18 +277,30 @@ def test_parallel_sharded_ingestion_speedup(benchmark):
         return tree, len(packets) / elapsed
 
     def run():
-        inproc = ShardedFlowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=budget), num_shards=4)
-        start = time.perf_counter()
-        inproc.add_batch(packets)
-        inproc_tree = inproc.merged_tree()
-        inproc_rate = len(packets) / (time.perf_counter() - start)
-        one_tree, one_rate = run_parallel(1)
-        four_tree, four_rate = run_parallel(4)
-        return inproc_tree, one_tree, four_tree, inproc_rate, one_rate, four_rate
+        inproc_rates, one_rates, four_rates = [], [], []
+        for _ in range(3):
+            inproc = ShardedFlowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=budget), num_shards=4)
+            start = time.perf_counter()
+            inproc.add_batch(packets)
+            inproc_tree = inproc.merged_tree()
+            inproc_rates.append(len(packets) / (time.perf_counter() - start))
+            one_tree, one_rate = run_parallel(1)
+            one_rates.append(one_rate)
+            four_tree, four_rate = run_parallel(4)
+            four_rates.append(four_rate)
+        return (
+            inproc_tree, one_tree, four_tree,
+            statistics.median(inproc_rates),
+            statistics.median(one_rates),
+            statistics.median(four_rates),
+        )
 
     inproc_tree, one_tree, four_tree, inproc_rate, one_rate, four_rate = (
         benchmark.pedantic(run, rounds=1, iterations=1)
     )
+    # Annotation only (no rel_ prefix): the ratio depends on the host's
+    # core count, so it must not participate in the cross-run gate.
+    benchmark.extra_info["parallel_speedup_vs_1_worker"] = round(four_rate / one_rate, 3)
     cpus = _available_cpus()
     print_header(
         "CLAIM-PARALLEL",

@@ -1,29 +1,47 @@
 #!/usr/bin/env python
-"""Compare two pytest-benchmark JSON files and flag throughput regressions.
+"""Compare two pytest-benchmark JSON files and gate on claim-metric regressions.
 
 CI runs the update-throughput benchmarks with ``--benchmark-json`` and keeps
 the result around (artifact + cache).  This script compares the current run
-against the previous one, benchmark by benchmark, on the mean wall time of
-each measured run and fails (or, with ``--warn-only``, warns) when any
-benchmark got more than ``--threshold`` slower.
+against the previous one and distinguishes two kinds of numbers:
+
+* **Relative claim metrics** — ``extra_info`` entries whose name starts
+  with ``rel_`` (e.g. ``rel_batch_speedup``, the batched-vs-loop speedup
+  ratio).  Both sides of a ratio are measured in the same process on the
+  same runner, so ratios are robust to runner variance; the benchmarks
+  additionally record the median of repeated measurements.  A relative
+  metric that *drops* by more than ``--threshold`` fails the check (these
+  gate merges).
+* **Absolute mean wall times** — per-benchmark ``stats.mean`` values.
+  Shared CI runners make absolute timings noisy, so slowdowns here are
+  always reported warn-only and never affect the exit code.
+
+With ``--promote-to PATH`` the current JSON is copied over the baseline
+**only when the check passes** (including the no-baseline first run), so a
+regressed run keeps being compared against the last good baseline instead
+of grading itself against its own regression.
 
 Usage::
 
     python scripts/check_bench_regression.py previous.json current.json \
-        [--threshold 0.2] [--warn-only]
+        [--threshold 0.2] [--warn-only] [--promote-to previous.json]
 
 Exit codes: 0 = no blocking regression (including "no baseline yet" and
-``--warn-only`` mode), 1 = regression beyond the threshold, 2 = unreadable
-input.
+``--warn-only`` mode), 1 = relative claim metric regressed beyond the
+threshold, 2 = unreadable input.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import shutil
 import sys
 from pathlib import Path
 from typing import Dict
+
+#: ``extra_info`` keys with this prefix are gating relative claim metrics.
+RELATIVE_PREFIX = "rel_"
 
 
 def load_benchmark_means(path: Path) -> Dict[str, float]:
@@ -38,10 +56,34 @@ def load_benchmark_means(path: Path) -> Dict[str, float]:
     return means
 
 
+def load_relative_metrics(path: Path) -> Dict[str, float]:
+    """Gating claim ratios: ``{benchmark::rel_name: value}`` from ``extra_info``.
+
+    Only numeric ``extra_info`` entries whose key starts with
+    :data:`RELATIVE_PREFIX` participate; everything else in ``extra_info``
+    is free-form annotation.
+    """
+    document = json.loads(path.read_text())
+    metrics: Dict[str, float] = {}
+    for entry in document.get("benchmarks", []):
+        extra = entry.get("extra_info") or {}
+        for key, value in extra.items():
+            if not key.startswith(RELATIVE_PREFIX):
+                continue
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            metrics[f"{entry['name']}::{key}"] = float(value)
+    return metrics
+
+
 def compare(
     previous: Dict[str, float], current: Dict[str, float], threshold: float
 ) -> Dict[str, list]:
-    """Bucket every benchmark into regressed / improved / steady / unmatched."""
+    """Bucket absolute mean times into regressed / improved / steady / unmatched.
+
+    Higher is worse (wall time): ``regressed`` means the current mean is
+    more than ``threshold`` slower than the baseline.
+    """
     report = {"regressed": [], "improved": [], "steady": [], "unmatched": []}
     for name, mean in sorted(current.items()):
         baseline = previous.get(name)
@@ -59,47 +101,111 @@ def compare(
     return report
 
 
+def compare_relative(
+    previous: Dict[str, float], current: Dict[str, float], threshold: float
+) -> Dict[str, list]:
+    """Bucket relative claim metrics; higher is better (speedup ratios).
+
+    ``regressed`` means the metric dropped below ``baseline * (1 -
+    threshold)``.  ``missing`` holds baseline metrics absent from the
+    current run — a vanished claim metric blocks like a regression,
+    otherwise renaming or breaking a benchmark would silently disarm the
+    gate (re-seed the baseline deliberately when a rename is intended).
+    """
+    report = {"regressed": [], "improved": [], "steady": [], "unmatched": [],
+              "missing": []}
+    for name, baseline in sorted(previous.items()):
+        if name not in current:
+            report["missing"].append((name, baseline))
+    for name, value in sorted(current.items()):
+        baseline = previous.get(name)
+        if baseline is None or baseline <= 0:
+            report["unmatched"].append((name, value))
+            continue
+        ratio = value / baseline
+        row = (name, baseline, value, ratio)
+        if ratio < 1.0 - threshold:
+            report["regressed"].append(row)
+        elif ratio > 1.0 + threshold:
+            report["improved"].append(row)
+        else:
+            report["steady"].append(row)
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("previous", type=Path, help="baseline benchmark JSON")
     parser.add_argument("current", type=Path, help="freshly produced benchmark JSON")
     parser.add_argument("--threshold", type=float, default=0.2,
-                        help="relative slowdown that counts as a regression "
-                             "(0.2 = 20%% slower)")
+                        help="relative change that counts as a regression "
+                             "(0.2 = a claim ratio dropping by 20%%)")
     parser.add_argument("--warn-only", action="store_true",
-                        help="report regressions but always exit 0 "
-                             "(the non-blocking first stage of the check)")
+                        help="report regressions but always exit 0")
+    parser.add_argument("--promote-to", type=Path, default=None,
+                        help="copy the current JSON here when (and only "
+                             "when) the check passes, so the baseline "
+                             "always reflects the last good run")
     args = parser.parse_args(argv)
+
+    def finish(code: int) -> int:
+        if code == 0 and args.promote_to is not None:
+            shutil.copyfile(args.current, args.promote_to)
+            print(f"promoted {args.current} -> {args.promote_to}")
+        return code
 
     if not args.previous.exists():
         print(f"no baseline at {args.previous}; nothing to compare (first run?)")
-        return 0
+        return finish(0)
     try:
-        previous = load_benchmark_means(args.previous)
-        current = load_benchmark_means(args.current)
+        previous_means = load_benchmark_means(args.previous)
+        current_means = load_benchmark_means(args.current)
+        previous_rel = load_relative_metrics(args.previous)
+        current_rel = load_relative_metrics(args.current)
     except (OSError, ValueError, KeyError) as exc:
         print(f"error: could not load benchmark JSON: {exc}", file=sys.stderr)
         return 2
 
-    report = compare(previous, current, args.threshold)
-    for name, baseline, mean, ratio in report["regressed"]:
-        print(f"REGRESSION {name}: {baseline:.3f}s -> {mean:.3f}s ({ratio:.2f}x slower)")
-    for name, baseline, mean, ratio in report["improved"]:
-        print(f"improved   {name}: {baseline:.3f}s -> {mean:.3f}s ({ratio:.2f}x)")
-    for name, baseline, mean, ratio in report["steady"]:
-        print(f"steady     {name}: {baseline:.3f}s -> {mean:.3f}s ({ratio:.2f}x)")
-    for name, mean in report["unmatched"]:
-        print(f"new        {name}: {mean:.3f}s (no baseline)")
+    means = compare(previous_means, current_means, args.threshold)
+    for name, baseline, mean, ratio in means["regressed"]:
+        print(f"warn: slower  {name}: {baseline:.3f}s -> {mean:.3f}s "
+              f"({ratio:.2f}x; absolute timings are warn-only)")
+    for name, baseline, mean, ratio in means["improved"]:
+        print(f"improved      {name}: {baseline:.3f}s -> {mean:.3f}s ({ratio:.2f}x)")
+    for name, baseline, mean, ratio in means["steady"]:
+        print(f"steady        {name}: {baseline:.3f}s -> {mean:.3f}s ({ratio:.2f}x)")
+    for name, mean in means["unmatched"]:
+        print(f"new           {name}: {mean:.3f}s (no baseline)")
 
-    if report["regressed"]:
-        worst = max(report["regressed"], key=lambda row: row[3])
-        print(
-            f"{len(report['regressed'])} benchmark(s) regressed beyond "
-            f"{args.threshold:.0%} (worst: {worst[0]} at {worst[3]:.2f}x)"
-        )
+    relative = compare_relative(previous_rel, current_rel, args.threshold)
+    for name, baseline, value, ratio in relative["regressed"]:
+        print(f"REGRESSION    {name}: {baseline:.2f} -> {value:.2f} "
+              f"({ratio:.2f}x of baseline)")
+    for name, baseline, value, ratio in relative["improved"]:
+        print(f"improved      {name}: {baseline:.2f} -> {value:.2f} ({ratio:.2f}x)")
+    for name, baseline, value, ratio in relative["steady"]:
+        print(f"steady        {name}: {baseline:.2f} -> {value:.2f} ({ratio:.2f}x)")
+    for name, value in relative["unmatched"]:
+        print(f"new           {name}: {value:.2f} (no baseline)")
+    for name, baseline in relative["missing"]:
+        print(f"MISSING       {name}: baseline {baseline:.2f} has no current value "
+              f"(renamed or broken benchmark? re-seed the baseline if intended)")
+
+    if relative["regressed"] or relative["missing"]:
+        if relative["regressed"]:
+            worst = min(relative["regressed"], key=lambda row: row[3])
+            print(
+                f"{len(relative['regressed'])} claim metric(s) regressed beyond "
+                f"{args.threshold:.0%} (worst: {worst[0]} at {worst[3]:.2f}x of baseline)"
+            )
+        if relative["missing"]:
+            print(f"{len(relative['missing'])} claim metric(s) missing from the current run")
+        # A regressed run never becomes the baseline, even in warn-only
+        # mode — the next run must still be compared against the last good
+        # numbers, not against the regression.
         return 0 if args.warn_only else 1
-    print(f"no regression beyond {args.threshold:.0%}")
-    return 0
+    print(f"no claim-metric regression beyond {args.threshold:.0%}")
+    return finish(0)
 
 
 if __name__ == "__main__":

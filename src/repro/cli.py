@@ -73,6 +73,12 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--input-format", choices=("csv", "pcap"), default="csv")
     build.add_argument("--batch-size", type=int, default=16_384,
                        help="records pre-aggregated per ingestion batch (0 = per-record)")
+    build.add_argument("--compaction", choices=("auto", "incremental", "rebuild"),
+                       default="auto",
+                       help="how the node budget is enforced: 'incremental' "
+                            "victim rounds, single-pass 'rebuild' folds, or "
+                            "'auto' (rebuild only when a batch overshoots "
+                            "the budget far enough for it to win)")
     build.add_argument("--shards", type=int, default=1,
                        help="hash-partition ingestion across N shard trees, "
                             "merged into one summary before writing")
@@ -129,7 +135,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_build(args: argparse.Namespace) -> int:
     schema = schema_by_name(args.schema)
-    config = FlowtreeConfig(max_nodes=args.max_nodes, policy=args.policy)
+    config = FlowtreeConfig(
+        max_nodes=args.max_nodes, policy=args.policy, compaction=args.compaction
+    )
     if args.shards < 1:
         raise ValueError(f"--shards must be at least 1, got {args.shards}")
     if args.workers < 0:

@@ -7,7 +7,8 @@ estimator helpers, whole-summary operators (merge-all, diff chains,
 heavy-hitter extraction) and the binary/JSON serialization formats.
 """
 
-from repro.core.config import EXACT_CONFIG, PAPER_EVAL_CONFIG, FlowtreeConfig
+from repro.core.compaction import Compactor, RebuildCompactor
+from repro.core.config import COMPACTION_MODES, EXACT_CONFIG, PAPER_EVAL_CONFIG, FlowtreeConfig
 from repro.core.errors import (
     ConfigurationError,
     DaemonError,
@@ -76,6 +77,9 @@ __all__ = [
     "FlowtreeConfig",
     "PAPER_EVAL_CONFIG",
     "EXACT_CONFIG",
+    "COMPACTION_MODES",
+    "Compactor",
+    "RebuildCompactor",
     "FlowKey",
     "Counters",
     "FlowtreeNode",

@@ -14,7 +14,7 @@ to shrink the tree.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import TYPE_CHECKING, Dict, List, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.core.config import FlowtreeConfig
 from repro.core.key import FlowKey
@@ -156,6 +156,234 @@ class Compactor:
         candidates.sort(key=lambda node: (node.counters.packets, -node.key.specificity))
         batch = max(self._config.victim_batch, excess)
         return candidates[:batch]
+
+
+class RebuildCompactor:
+    """Single-pass bulk rebuild for the budget ≪ distinct-flows regime.
+
+    The incremental :class:`Compactor` is built for small overshoots: each
+    round selects the cheapest leaves of a *tree* and folds them upward.
+    When a batch brings in many times more distinct keys than ``max_nodes``
+    can hold, that shape degenerates — the tree materializes (and then
+    dismantles) the whole working set, and victim selection re-sorts it
+    round after round.
+
+    The rebuild path never materializes the working set as a tree.  It
+    flattens the kept nodes plus the pending batch into one ``key ->
+    counters`` map, buckets the entries by total specificity, and folds
+    bottom-up along the canonical generalization chains, one lattice level
+    at a time (Flowyager-style bulk construction): at every level the
+    least-popular entries take one chain step up — where they meet sibling
+    victims or existing aggregates and merge — until the survivor count
+    fits the target.  Each level is sorted once, each entry is touched at
+    most once per level it traverses, and the compacted tree is then
+    constructed directly from the survivors, most general keys first, so no
+    insert is ever undone.
+
+    Semantics match the incremental strategy's contract, not its byte
+    output: counters are conserved exactly, the node budget is enforced,
+    protection (``protected_min_count``) orders victims per level with the
+    budget taking precedence (the end state incremental's rounds converge
+    to), but the surviving aggregate set may differ (the equivalence bound
+    is pinned by ``tests/test_compaction_rebuild``).
+    """
+
+    def __init__(self, config: FlowtreeConfig) -> None:
+        self._config = config
+
+    def rebuild(
+        self,
+        tree: "Flowtree",
+        items: Sequence[tuple],
+        target_nodes: int,
+        pending: Optional[Dict[object, list]] = None,
+    ) -> int:
+        """Fold ``tree`` plus a pending batch down to ``target_nodes`` nodes.
+
+        The batch arrives either as ``items`` — ``(key, packets, bytes,
+        flows)`` tuples, the :meth:`~repro.core.flowtree.Flowtree.add_aggregated`
+        shape — or as ``pending``, the raw pre-aggregation dict produced by
+        :func:`~repro.core.flowtree.preaggregate_records` (``signature ->
+        [packets, bytes, flows, sample record]``).  The ``pending`` form is
+        the fast path: a record's signature *is* its full-specificity token
+        tuple, so batch keys that will not survive the fold never become
+        :class:`~repro.core.key.FlowKey` objects at all.
+
+        Returns the number of entries folded away.  The tree is left
+        compacted, valid and queryable; its root absorbs everything that
+        folds past the last interior level.
+        """
+        schema = tree.schema
+        max_spec = tree.chain_builder.max_specificity
+        max_depth = sum(max_spec)
+        root_counters = tree.root.counters
+        # depth -> specificity vector -> token signature -> entry, where an
+        # entry is the mutable list [packets, bytes, flows, representative]
+        # and the representative (a key or a raw record) exists only to
+        # materialize the survivor's FlowKey at the end.
+        levels: Dict[int, Dict[tuple, Dict[tuple, list]]] = defaultdict(dict)
+        before = 0
+        for node in tree._all_nodes():
+            if node is tree.root:
+                continue
+            key = node.key
+            vec = key.specificity_vector
+            sig = tuple(
+                feature.mask_token(spec) for feature, spec in zip(key.features, vec)
+            )
+            counters = node.counters
+            levels[sum(vec)].setdefault(vec, {})[sig] = [
+                counters.packets, counters.bytes, counters.flows, key,
+            ]
+            before += 1
+        full_bucket = levels[max_depth].setdefault(max_spec, {})
+        if pending:
+            wrap = len(schema) == 1
+            for signature, entry in pending.items():
+                sig = (signature,) if wrap else signature
+                existing = full_bucket.get(sig)
+                if existing is None:
+                    full_bucket[sig] = entry
+                    before += 1
+                else:
+                    existing[0] += entry[0]
+                    existing[1] += entry[1]
+                    existing[2] += entry[2]
+        for key, packets, byte_count, flows in items:
+            if key.is_root:
+                root_counters.packets += packets
+                root_counters.bytes += byte_count
+                root_counters.flows += flows
+                continue
+            vec = key.specificity_vector
+            sig = tuple(
+                feature.mask_token(spec) for feature, spec in zip(key.features, vec)
+            )
+            bucket = (
+                full_bucket if vec == max_spec
+                else levels[sum(vec)].setdefault(vec, {})
+            )
+            existing = bucket.get(sig)
+            if existing is None:
+                bucket[sig] = [packets, byte_count, flows, key]
+                before += 1
+            else:
+                existing[0] += packets
+                existing[1] += byte_count
+                existing[2] += flows
+
+        survivors, folded = self._fold(tree, levels, before, root_counters, target_nodes)
+        tree._rebuild_from_entries(survivors)
+        return folded
+
+    def _fold(
+        self,
+        tree: "Flowtree",
+        levels: Dict[int, Dict[tuple, Dict[tuple, list]]],
+        before: int,
+        root_counters,
+        target_nodes: int,
+    ) -> tuple:
+        """Level-by-level bottom-up fold; returns ``(survivors, folded)``.
+
+        ``survivors`` is a list of ``(key, [packets, bytes, flows, ...])``
+        pairs sorted by ascending specificity, so ancestors always precede
+        the keys they contain — the ordering the tree reconstruction relies
+        on.
+
+        The fold itself never constructs :class:`FlowKey` objects.  Every
+        entry is represented by ``(specificity vector, token signature)``
+        where the signature holds one :meth:`~repro.features.base.Feature.mask_token`
+        per feature; a fold step changes exactly one vector component and
+        one token (a masked-integer :meth:`~repro.features.base.Feature.mask_raw`
+        call), and two entries denote the same generalized key exactly when
+        vector and signature agree.  Keys are materialized once per
+        *survivor* — at most ``target_nodes`` of them — from the entry's
+        retained representative.
+        """
+        budget = max(0, target_nodes - 1)   # the root is kept implicitly
+        maskers = tuple(spec.feature_type.mask_raw for spec in tree.schema.fields)
+        fold_step = tree.chain_builder.fold_step
+        parent_cache: Dict[tuple, tuple] = {}
+        protected = self._config.protected_min_count
+        total = before
+        for depth in range(max(levels, default=0), 0, -1):
+            if total <= budget:
+                break
+            at_depth = levels.get(depth)
+            if not at_depth:
+                continue
+            count_here = sum(len(bucket) for bucket in at_depth.values())
+            # Depths above ``depth`` are final; depths below may still fold,
+            # but they get their full reservation — a shallow aggregate
+            # summarizes strictly more key space than anything at this level.
+            keep = max(0, budget - (total - count_here))
+            need = count_here - keep
+            if need <= 0:
+                continue
+            ranked = sorted(
+                (
+                    (entry, vec, sig)
+                    for vec, bucket in at_depth.items()
+                    for sig, entry in bucket.items()
+                ),
+                key=lambda item: item[0][0],
+            )
+            if protected > 0:
+                # Protection orders victims, the budget wins — the same end
+                # state the incremental strategy reaches: its rounds fold
+                # unprotected leaves first and fall back to protected ones
+                # once no unprotected victim is left.  Levels are processed
+                # exactly once here, so the fallback must happen within the
+                # level or the budget would be violated permanently.
+                unprotected = [item for item in ranked if item[0][0] < protected]
+                victims = unprotected[:need]
+                if len(victims) < need:
+                    shielded = [item for item in ranked if item[0][0] >= protected]
+                    victims.extend(shielded[:need - len(victims)])
+            else:
+                victims = ranked[:need]
+            for entry, vec, sig in victims:
+                del at_depth[vec][sig]
+                total -= 1
+                step = parent_cache.get(vec)
+                if step is None:
+                    index, target = fold_step(vec)
+                    parent_vec = vec[:index] + (target,) + vec[index + 1:]
+                    step = (index, target, parent_vec, sum(parent_vec))
+                    parent_cache[vec] = step
+                index, target, parent_vec, parent_depth = step
+                if parent_depth == 0:
+                    root_counters.packets += entry[0]
+                    root_counters.bytes += entry[1]
+                    root_counters.flows += entry[2]
+                    continue
+                parent_sig = (
+                    sig[:index] + (maskers[index](sig[index], target),) + sig[index + 1:]
+                )
+                parent_bucket = levels[parent_depth].setdefault(parent_vec, {})
+                existing = parent_bucket.get(parent_sig)
+                if existing is None:
+                    parent_bucket[parent_sig] = entry
+                    total += 1
+                else:
+                    existing[0] += entry[0]
+                    existing[1] += entry[1]
+                    existing[2] += entry[2]
+
+        schema = tree.schema
+        survivors: List[tuple] = []
+        for depth in sorted(levels):
+            for vec, bucket in levels[depth].items():
+                for entry in bucket.values():
+                    representative = entry[3]
+                    if not isinstance(representative, FlowKey):
+                        representative = FlowKey.from_record(schema, representative)
+                    if representative.specificity_vector == vec:
+                        survivors.append((representative, entry))
+                    else:
+                        survivors.append((representative.generalize_to_vector(vec), entry))
+        return survivors, before - len(survivors)
 
 
 def fold_into(target: FlowtreeNode, victims: Sequence[FlowtreeNode]) -> None:

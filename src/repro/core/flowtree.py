@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from itertools import islice
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.core.compaction import Compactor
+from repro.core.compaction import Compactor, RebuildCompactor
 from repro.core.config import FlowtreeConfig
 from repro.core.errors import QueryError, SchemaMismatchError
 from repro.core.key import FlowKey
@@ -72,6 +72,7 @@ class UpdateStats:
     compactions: int = 0
     folded_nodes: int = 0
     merged_trees: int = 0
+    rebuilds: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         """Plain-dict copy for reports and tests."""
@@ -82,6 +83,7 @@ class UpdateStats:
             "compactions": self.compactions,
             "folded_nodes": self.folded_nodes,
             "merged_trees": self.merged_trees,
+            "rebuilds": self.rebuilds,
         }
 
 
@@ -148,6 +150,14 @@ class Flowtree:
         self._nodes: Dict[FlowKey, FlowtreeNode] = {root_key: self._root}
         self._stats = UpdateStats()
         self._compactor = Compactor(self._config)
+        self._rebuilder = RebuildCompactor(self._config)
+        # Whether raw record signatures double as full-specificity token
+        # tuples for every field — the precondition of the rebuild
+        # compactor's key-construction-free batch path (see
+        # Feature.raw_signature_tokens).
+        self._raw_token_schema = all(
+            spec.feature_type.raw_signature_tokens for spec in schema.fields
+        )
         self._root_spec = self._trajectory_order[-1]
         self._traj_index = {vec: i for i, vec in enumerate(self._trajectory_order)}
         # Interior-level index: how many kept nodes sit at each trajectory
@@ -306,20 +316,47 @@ class Flowtree:
         return consumed
 
     def _add_batch_chunk(self, records: List[object]) -> int:
-        """Pre-aggregate one bounded chunk and apply it in a single pass."""
+        """Pre-aggregate one bounded chunk and apply it in a single pass.
+
+        When the chunk's distinct-key count selects the bulk rebuild (the
+        budget ≪ distinct-flows regime), the pre-aggregation dict is handed
+        to the rebuild compactor as-is: for schemas whose feature types all
+        set :attr:`~repro.features.base.Feature.raw_signature_tokens`, a
+        record signature already *is* the full-specificity token tuple the
+        fold operates on, so the per-key :class:`FlowKey` construction
+        below is skipped entirely for keys that will not survive the fold.
+        Other schemas still rebuild — through the key-items path of
+        :meth:`add_aggregated`, whose tokens are self-consistent for any
+        feature type.
+        """
         pending = preaggregate_records(
             records, self._schema.signature_of, self._config.count_bytes
         )
         if not pending:
             return 0
+        max_nodes = self._config.max_nodes
+        if (
+            max_nodes is not None
+            and self._raw_token_schema
+            and self._config.compaction != "incremental"
+        ):
+            # Union lower bound, not a sum — see add_aggregated's dispatch.
+            projected_excess = max(len(self._nodes), len(pending)) - max_nodes
+            if self._config.rebuild_selected(projected_excess):
+                self._stats.updates += len(records)
+                self._rebuild_apply((), pending=pending)
+                return len(records)
         schema = self._schema
-        self.add_aggregated(
-            (
-                (FlowKey.from_record(schema, entry[3]), entry[0], entry[1], entry[2])
-                for entry in pending.values()
-            ),
-            record_count=len(records),
+        items = (
+            (FlowKey.from_record(schema, entry[3]), entry[0], entry[1], entry[2])
+            for entry in pending.values()
         )
+        if max_nodes is not None and self._config.compaction != "incremental":
+            # Give add_aggregated a sized sequence so its own rebuild
+            # dispatch stays possible (e.g. non-raw-token schemas); memory
+            # is already O(distinct keys) because of ``pending``.
+            items = list(items)
+        self.add_aggregated(items, record_count=len(records))
         return len(records)
 
     def add_aggregated(
@@ -340,10 +377,39 @@ class Flowtree:
         incrementally, every new key costs a few dict probes — one per
         populated generalization level — rather than a full canonical chain
         walk, and keys sharing a chain prefix share the cached level state.
+
+        Compaction strategy dispatch (``config.compaction``): when the
+        batch's projected overshoot selects the bulk rebuild (see
+        :meth:`FlowtreeConfig.rebuild_selected`), the items are *not*
+        inserted at all — the :class:`~repro.core.compaction.RebuildCompactor`
+        folds the kept nodes plus the batch straight down to the compaction
+        target in one bottom-up pass.  Otherwise the incremental pass below
+        runs unchanged.  Dispatch needs the batch size up front, so it only
+        happens for sized sequences (lists/tuples — what ``add_batch`` and
+        the sharded partitioner produce); generator inputs stream through
+        the incremental pass in bounded memory exactly as before, with
+        ``compact()`` still applying a forced ``"rebuild"`` mode at the
+        batch boundary.
         """
         nodes = self._nodes
         stats = self._stats
         max_nodes = self._config.max_nodes
+        if (
+            max_nodes is not None
+            and self._config.compaction != "incremental"
+            and isinstance(items, (list, tuple))
+        ):
+            # max() is a conservative lower bound on the post-aggregation
+            # tree size: every distinct batch key ends up in the union, and
+            # so does every kept node.  Summing the two instead would count
+            # already-kept keys twice and trigger destructive rebuilds in
+            # the steady state of the paper-like regime, where each batch
+            # mostly re-covers the resident working set.
+            projected_excess = max(len(nodes), len(items)) - max_nodes
+            if self._config.rebuild_selected(projected_excess):
+                stats.updates += record_count if record_count is not None else len(items)
+                self._rebuild_apply(items)
+                return
         if self._config.compaction_enabled:
             # Let the batch overshoot the budget by one victim-batch-sized
             # margin before compacting mid-pass.  Compacting from a tree
@@ -458,17 +524,92 @@ class Flowtree:
         """Fold low-contribution nodes until the tree fits ``target_nodes``.
 
         Returns the number of nodes removed.  Public so callers can compact
-        eagerly before serializing or shipping a summary.
+        eagerly before serializing or shipping a summary.  Which strategy
+        runs follows ``config.compaction``: ``"rebuild"`` (or ``"auto"``
+        with a large enough overshoot) folds the whole tree in one
+        bottom-up rebuild pass; otherwise the incremental victim rounds
+        run, as the per-record update path always did.
         """
         if target_nodes is None:
             target_nodes = self._config.target_nodes
         if target_nodes is None:
             return 0
+        before = len(self._nodes)
+        if before <= target_nodes:
+            return 0
+        # Dispatch on the excess over the actual compaction target, so a
+        # forced "rebuild" mode applies to every compaction — including an
+        # eager compact() called while the tree sits between the target and
+        # max_nodes.  For "auto" the threshold itself still scales with
+        # max_nodes, keeping per-record overshoot compactions incremental.
+        if self._config.rebuild_selected(before - target_nodes):
+            self._rebuild_apply((), target_nodes=target_nodes)
+            return before - len(self._nodes)
         removed = self._compactor.compact(self, target_nodes)
         if removed:
             self._stats.compactions += 1
             self._stats.folded_nodes += removed
         return removed
+
+    def _rebuild_apply(
+        self,
+        items: Iterable[Tuple[FlowKey, int, int, int]],
+        pending: Optional[Dict[object, list]] = None,
+        target_nodes: Optional[int] = None,
+    ) -> None:
+        """Bulk-rebuild ingestion: fold the batch + kept nodes to the target.
+
+        The batch arrives as ``items`` (key tuples) and/or ``pending`` (the
+        raw pre-aggregation dict — see
+        :meth:`~repro.core.compaction.RebuildCompactor.rebuild`).  The
+        heavy lifting lives in the compactor; this wrapper owns the stats
+        accounting so every entry point (``_add_batch_chunk``,
+        ``add_aggregated`` dispatch and ``compact``) counts the work
+        identically.  Callers advance ``stats.updates`` themselves.
+        """
+        if target_nodes is None:
+            target_nodes = self._config.target_nodes or len(self._nodes)
+        folded = self._rebuilder.rebuild(self, items, target_nodes, pending=pending)
+        self._stats.rebuilds += 1
+        if folded > 0:
+            self._stats.compactions += 1
+            self._stats.folded_nodes += folded
+
+    def _rebuild_from_entries(self, survivors: List[Tuple[FlowKey, List[int]]]) -> None:
+        """Replace the tree's contents with ``survivors`` (rebuild semantics).
+
+        ``survivors`` must be sorted by ascending specificity so that every
+        key's kept ancestors are inserted before it — then no insert ever
+        needs the containment re-parenting scan of :meth:`_insert_under`,
+        and the populated-level ancestor index answers each lookup in a few
+        dict probes.  The root node object (and its counters, which the
+        rebuild fold has already topped up) is preserved.
+        """
+        old_nodes = self._nodes
+        root = self._root
+        root.children.clear()
+        self._nodes = {root.key: root}
+        self._interior_levels = {self._root_spec: 1}
+        self._populated_levels = [
+            (len(self._trajectory_order) - 1, self._root_spec)
+        ]
+        seq = self._stats.updates
+        max_spec = self._max_spec
+        traj_index = self._traj_index
+        new_inserts = 0
+        for key, counters in survivors:
+            ancestor = self._longest_matching_ancestor(key)
+            node = FlowtreeNode(key, created_seq=seq)
+            node.counters = Counters(counters[0], counters[1], counters[2])
+            ancestor.attach_child(node)
+            self._nodes[key] = node
+            vec = key.specificity_vector
+            if vec != max_spec and vec in traj_index:
+                self._level_added(vec)
+            if key not in old_nodes:
+                new_inserts += 1
+        root.updated_seq = seq
+        self._stats.inserts += new_inserts
 
     # -- internal hooks used by the compactor and the operators ----------------
 

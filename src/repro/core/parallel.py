@@ -8,7 +8,12 @@ once (exactly like the in-process :class:`~repro.core.sharded.ShardedFlowtree`),
 ships the per-shard slices as compact :func:`~repro.core.serialization.encode_aggregated_batch`
 payloads — no pickling of keys or records — and pulls per-shard summaries
 back through the ordinary binary summary format, so the merged result is
-**byte-identical** to the in-process sharded path.
+**byte-identical** to the in-process sharded path.  That equivalence is
+independent of the configured compaction strategy: the workers receive the
+same per-shard :class:`~repro.core.config.FlowtreeConfig` (``compaction``
+mode and ``rebuild_threshold`` included) and fold the same per-shard item
+sequences, so incremental, rebuild and auto dispatch all run identically on
+both execution paths.
 
 Reliability model: worker state is memory-only, so a worker crash loses
 everything it folded since its last shipped summary.  The parent therefore

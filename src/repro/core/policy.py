@@ -205,6 +205,12 @@ class ChainBuilder:
             for spec in range(1, levels[0] + 1):
                 table[spec] = max((level for level in levels if level < spec), default=0)
             self._lower.append(table)
+        # Fold-step cache: specificity vector -> (feature index, target
+        # specificity) of the canonical parent.  Policies depend only on the
+        # specificity vector, so every key at the same lattice level shares
+        # one fold step; the bulk rebuild compactor folds whole levels at a
+        # time and hits this cache for all but the first key of each level.
+        self._fold_steps: Dict[Tuple[int, ...], Tuple[int, int]] = {}
 
     @classmethod
     def for_schema(
@@ -250,13 +256,25 @@ class ChainBuilder:
 
     # -- chain operations ---------------------------------------------------------
 
+    def fold_step(self, vector: Tuple[int, ...]) -> Tuple[int, int]:
+        """``(feature index, target specificity)`` of the canonical parent.
+
+        Valid for any non-root specificity vector; cached per vector, since
+        the parent step is a pure function of the vector (never of the
+        feature values).
+        """
+        step = self._fold_steps.get(vector)
+        if step is None:
+            index = self._policy.choose_feature(vector, self._max)
+            current = vector[index]
+            table = self._lower[index]
+            step = (index, table[current] if current < len(table) else table[-1])
+            self._fold_steps[vector] = step
+        return step
+
     def parent(self, key: FlowKey) -> FlowKey:
         """Canonical parent: one generalization step along the policy trajectory."""
-        spec = key.specificity_vector
-        index = self._policy.choose_feature(spec, self._max)
-        current = spec[index]
-        table = self._lower[index]
-        target = table[current] if current < len(table) else table[-1]
+        index, target = self.fold_step(key.specificity_vector)
         return key.generalize_feature_to(index, target)
 
     def chain(self, key: FlowKey) -> Iterator[FlowKey]:

@@ -57,7 +57,11 @@ def shard_config_for(config: FlowtreeConfig, num_shards: int) -> FlowtreeConfig:
     Each shard keeps at least the minimum viable 16 nodes, so very small
     budgets with many shards may slightly overshoot the total.  Shared by
     :class:`ShardedFlowtree` and the process-parallel executor so both
-    paths build identically configured shard trees.
+    paths build identically configured shard trees.  Every other knob —
+    including the ``compaction`` strategy and ``rebuild_threshold`` —
+    carries over verbatim, so mode dispatch happens per shard against the
+    shard's own (divided) budget and the two execution paths cannot
+    disagree on it.
     """
     if config.max_nodes is None:
         return config

@@ -33,6 +33,15 @@ class Feature(abc.ABC):
     #: Short, stable identifier used in serialized summaries (e.g. ``"ip4"``).
     kind: str = "feature"
 
+    #: ``True`` when this type guarantees ``mask_token(full specificity)``
+    #: equals the raw record attribute the schema extracts the feature
+    #: from.  Only then may the rebuild compactor treat a record's raw
+    #: signature as a ready-made token tuple and skip key construction for
+    #: the batch; types relying on the generic wire-form fallbacks below
+    #: must leave this ``False`` (their tokens are wire strings, which a
+    #: raw attribute would never equal).
+    raw_signature_tokens: bool = False
+
     @abc.abstractmethod
     def generalize(self) -> "Feature":
         """Return the value one level up the hierarchy.
@@ -96,6 +105,41 @@ class Feature(abc.ABC):
         while current.specificity > target_specificity:
             current = current.generalize()
         return current
+
+    def mask_token(self, target_specificity: int) -> Any:
+        """Hashable token identifying ``generalize_to(target_specificity)``.
+
+        Contract: for two features at the same schema position,
+        ``a.mask_token(s) == b.mask_token(s)`` exactly when
+        ``a.generalize_to(s) == b.generalize_to(s)`` (``s`` at most either
+        feature's specificity).  The bulk rebuild compactor folds whole
+        lattice levels in token space — one token comparison per entry per
+        level instead of one feature object construction — so the built-in
+        features override this with a masked-integer implementation.  This
+        generic fallback materializes the ancestor and is always correct
+        for user-defined hierarchies.
+        """
+        return self.generalize_to(target_specificity).to_wire()
+
+    @classmethod
+    def mask_raw(cls, token: Any, target_specificity: int) -> Any:
+        """Fold an existing token further down the hierarchy, class-side.
+
+        ``token`` must be a value produced by :meth:`mask_token` — or, when
+        the class sets :attr:`raw_signature_tokens`, the raw record
+        attribute the feature would be constructed from (the
+        :meth:`~repro.features.schema.FlowSchema.signature_of` view).
+        Returns the token of the ancestor at ``target_specificity``.
+        Masking composes: folding a token in two steps equals folding it
+        once to the lower level, which is what lets the rebuild compactor
+        cascade entries through many lattice levels without ever
+        constructing feature objects.  The generic fallback round-trips
+        through the wire form; it composes correctly with the generic
+        :meth:`mask_token` (whose tokens *are* wire forms) but is never fed
+        raw attributes, because :attr:`raw_signature_tokens` stays
+        ``False`` for classes that do not override both methods.
+        """
+        return cls.from_wire(token).mask_token(target_specificity)
 
     def ancestors(self, include_self: bool = False) -> Iterator["Feature"]:
         """Yield increasingly general values, ending at (and including) the root."""

@@ -197,6 +197,17 @@ class _PrefixBase(Feature):
             return self
         return type(self)._fast(mask_bits(self._network, new_length, self.width), new_length)
 
+    raw_signature_tokens = True   # a record's address attr is the /width network
+
+    def mask_token(self, target_specificity: int) -> int:
+        """Masked network address: the token of the ``/target`` ancestor."""
+        return mask_bits(self._network, target_specificity, self.width)
+
+    @classmethod
+    def mask_raw(cls, token: int, target_specificity: int) -> int:
+        """Mask an address token (a network or raw record address) down."""
+        return mask_bits(token, target_specificity, cls.width)
+
     def contains(self, other: Feature) -> bool:
         if not isinstance(other, type(self)):
             return False

@@ -122,6 +122,17 @@ class PortRange(Feature):
         new_len = max(0, self._prefix_len - steps)
         return PortRange._fast(mask_bits(self._base, new_len, PORT_BITS), new_len)
 
+    raw_signature_tokens = True   # a record's port attr is the single-port base
+
+    def mask_token(self, target_specificity: int) -> int:
+        """Masked base port: the token of the ``/target`` ancestor range."""
+        return mask_bits(self._base, target_specificity, PORT_BITS)
+
+    @classmethod
+    def mask_raw(cls, token: int, target_specificity: int) -> int:
+        """Mask a port token (a base port or raw record port) down."""
+        return mask_bits(token, target_specificity, PORT_BITS)
+
     def generalize_to(self, new_len: int) -> "PortRange":
         """Widen the range to exactly ``new_len`` fixed bits (must not specialize)."""
         if new_len > self._prefix_len:

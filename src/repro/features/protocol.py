@@ -99,6 +99,17 @@ class Protocol(Feature):
     def generalize(self) -> "Protocol":
         return Protocol(None)
 
+    raw_signature_tokens = True   # a record's protocol attr is the number itself
+
+    def mask_token(self, target_specificity: int) -> Optional[int]:
+        """The protocol number at specificity 1, ``None`` for the wildcard."""
+        return self._number if target_specificity else None
+
+    @classmethod
+    def mask_raw(cls, token: Optional[int], target_specificity: int) -> Optional[int]:
+        """Identity at specificity 1, ``None`` (wildcard) at 0."""
+        return token if target_specificity else None
+
     def contains(self, other: Feature) -> bool:
         if not isinstance(other, Protocol):
             return False

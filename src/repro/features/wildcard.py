@@ -82,6 +82,17 @@ class CategoricalValue(Feature):
     def generalize(self) -> "CategoricalValue":
         return CategoricalValue(None, domain=self._domain, domain_size=self._domain_size)
 
+    raw_signature_tokens = True   # a record's attr is the categorical value itself
+
+    def mask_token(self, target_specificity: int):
+        """The categorical value at specificity 1, ``None`` for the wildcard."""
+        return self._value if target_specificity else None
+
+    @classmethod
+    def mask_raw(cls, token, target_specificity: int):
+        """Identity at specificity 1, ``None`` (wildcard) at 0."""
+        return token if target_specificity else None
+
     def contains(self, other: Feature) -> bool:
         if not isinstance(other, CategoricalValue) or other._domain != self._domain:
             return False

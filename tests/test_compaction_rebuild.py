@@ -1,0 +1,455 @@
+"""Rebuild-vs-incremental compaction: equivalence bounds and mode dispatch.
+
+The bulk rebuild compactor (``compaction="rebuild"``) must be a drop-in
+replacement for the incremental victim rounds wherever summaries are
+*used*: same node budget, exactly the same totals, and estimator answers
+within the paper's error bound on every trace family.  ``"auto"`` must
+dispatch between the two strategies purely on the batch-overshoot policy,
+staying incremental in the paper-like regime so the existing byte-identical
+equivalence guarantees keep holding there.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import SimpleRecord, make_record
+
+from repro.core import (
+    Flowtree,
+    FlowtreeConfig,
+    ParallelShardedFlowtree,
+    ShardedFlowtree,
+    to_bytes,
+)
+from repro.core.errors import ConfigurationError
+from repro.features.ipaddr import IPv4Prefix
+from repro.features.ports import PortRange
+from repro.features.protocol import Protocol
+from repro.features.schema import SCHEMA_4F
+from repro.traces import (
+    CaidaLikeTraceGenerator,
+    DdosTraceGenerator,
+    PortScanTraceGenerator,
+)
+
+#: The paper's Fig. 3 evaluation treats a weighted relative error below
+#: 0.25 as faithful; both compaction strategies must stay inside it on
+#: heavy aggregates, and inside it relative to each other.
+ERROR_BOUND = 0.25
+
+_TRACES = {
+    "zipf": lambda: CaidaLikeTraceGenerator(seed=31, flow_population=30_000).packets(30_000),
+    "ddos": lambda: DdosTraceGenerator(seed=31).packets(30_000),
+    "portscan": lambda: PortScanTraceGenerator(seed=31).packets(30_000),
+}
+
+
+def _record(src_host, dst_host, sport, dport, packets):
+    return SimpleRecord(
+        src_ip=(10 << 24) | src_host,
+        dst_ip=(192 << 24) | (168 << 16) | dst_host,
+        src_port=1024 + sport,
+        dst_port=dport,
+        packets=packets,
+        bytes=packets * 100,
+    )
+
+
+records_strategy = st.lists(
+    st.builds(
+        _record,
+        src_host=st.integers(0, 200),
+        dst_host=st.integers(0, 8),
+        sport=st.integers(0, 10),
+        dport=st.sampled_from([53, 80, 443]),
+        packets=st.integers(1, 5),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+def _heavy_query_keys(exact, min_share=0.01):
+    """On-trajectory generalizations of the heaviest flows plus the heavy
+    kept keys themselves — the aggregates operators actually query."""
+    total = exact.total_counters().packets
+    keys = []
+    for key, _ in exact.top(10):
+        if key.is_root:
+            continue
+        keys.append(key)
+        steps = 0
+        for ancestor in exact.chain_builder.chain(key):
+            steps += 1
+            if steps in (4, 8, 12) and not ancestor.is_root:
+                keys.append(ancestor)
+    heavy = []
+    seen = set()
+    for key in keys:
+        if key in seen:
+            continue
+        seen.add(key)
+        if exact.estimate(key).value("packets") >= total * min_share:
+            heavy.append(key)
+    return heavy
+
+
+class TestRebuildEquivalence:
+    @pytest.mark.parametrize("trace", sorted(_TRACES))
+    def test_budget_totals_and_estimates_match_incremental(self, trace):
+        packets = list(_TRACES[trace]())
+        distinct = len({SCHEMA_4F.signature_of(p) for p in packets})
+        budget = max(64, distinct // 10)
+        assert distinct > 4 * budget, "workload must be in the budget << flows regime"
+
+        exact = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=None))
+        exact.add_batch(packets)
+        trees = {}
+        for mode in ("incremental", "rebuild"):
+            tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=budget, compaction=mode))
+            tree.add_batch(packets)
+            tree.validate()
+            trees[mode] = tree
+
+        # Identical node budgets: both strategies end inside the same cap...
+        assert len(trees["incremental"]) <= budget
+        assert len(trees["rebuild"]) <= budget
+        # ...and conserve every counter exactly.
+        assert trees["incremental"].total_counters() == exact.total_counters()
+        assert trees["rebuild"].total_counters() == exact.total_counters()
+        assert trees["rebuild"].stats.rebuilds > 0
+        assert trees["incremental"].stats.rebuilds == 0
+
+        heavy = _heavy_query_keys(exact)
+        assert heavy, "trace produced no heavy aggregates to query"
+        for key in heavy:
+            truth = exact.estimate(key).value("packets")
+            for mode, tree in trees.items():
+                estimate = tree.estimate(key).value("packets")
+                error = abs(estimate - truth) / truth
+                assert error <= ERROR_BOUND, (
+                    f"{trace}/{mode}: {key.pretty()} estimated {estimate} "
+                    f"vs {truth} (error {error:.2f})"
+                )
+            spread = abs(
+                trees["rebuild"].estimate(key).value("packets")
+                - trees["incremental"].estimate(key).value("packets")
+            ) / truth
+            assert spread <= ERROR_BOUND, (
+                f"{trace}: strategies disagree by {spread:.2f} on {key.pretty()}"
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(records=records_strategy)
+    def test_forced_rebuild_is_valid_and_conserving(self, records):
+        """Property: any stream, tight budget — rebuild keeps the contract."""
+        loop_tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=64, victim_batch=8))
+        for record in records:
+            loop_tree.add_record(record)
+        rebuild_tree = Flowtree(
+            SCHEMA_4F,
+            FlowtreeConfig(max_nodes=64, victim_batch=8, compaction="rebuild"),
+        )
+        rebuild_tree.add_batch(records, batch_size=0)
+        rebuild_tree.validate()
+        assert len(rebuild_tree) <= 64
+        assert rebuild_tree.total_counters() == loop_tree.total_counters()
+        root_estimate = rebuild_tree.estimate(rebuild_tree.root.key)
+        assert root_estimate.counters == rebuild_tree.total_counters()
+
+    @pytest.mark.parametrize("schema_name", ["1f", "5f"])
+    def test_rebuild_works_on_other_schema_arities(self, schema_name, schema_1f, schema_5f):
+        """The raw-signature fast path must handle bare (1-field) signatures
+        and the protocol dimension's two-level hierarchy (5-field)."""
+        schema = schema_1f if schema_name == "1f" else schema_5f
+        packets = list(CaidaLikeTraceGenerator(seed=9, flow_population=20_000).packets(8_000))
+        reference = Flowtree(schema, FlowtreeConfig(max_nodes=None))
+        reference.add_batch(packets)
+        tree = Flowtree(schema, FlowtreeConfig(max_nodes=64, compaction="rebuild"))
+        tree.add_batch(packets)
+        tree.validate()
+        assert tree.stats.rebuilds > 0
+        assert len(tree) <= 64
+        assert tree.total_counters() == reference.total_counters()
+
+    def test_rebuild_enforces_budget_over_protection(self):
+        """Protection orders victims but the budget wins — a batch where
+        almost every entry is protected must still fold down to the cap
+        (the incremental rounds reach the same end state via their
+        no-unprotected-leaves fallback)."""
+        records = [
+            make_record(src=f"10.{i // 200}.{(i // 40) % 5}.{i % 40}",
+                        sport=1000 + i, packets=5 if i < 450 else 1)
+            for i in range(500)
+        ]
+        config = FlowtreeConfig(max_nodes=64, compaction="rebuild", protected_min_count=5)
+        tree = Flowtree(SCHEMA_4F, config)
+        tree.add_batch(records, batch_size=0)
+        tree.validate()
+        assert len(tree) <= 64
+        incremental = Flowtree(SCHEMA_4F, config.with_compaction("incremental"))
+        for record in records:
+            incremental.add_record(record)
+        assert tree.total_counters() == incremental.total_counters()
+        assert len(incremental) <= 64
+
+    def test_rebuild_with_generic_wire_token_fallbacks(self, monkeypatch):
+        """A user-defined feature type that overrides neither ``mask_token``
+        nor ``mask_raw`` must rebuild correctly through the base class's
+        wire-form fallbacks (tokens are wire strings; ``mask_raw`` must
+        compose by round-tripping ``from_wire``)."""
+        from repro.features import schema as schema_module
+        from repro.features.base import Feature
+
+        class WireTokenProtocol(Protocol):
+            """Protocol with only the mandatory Feature interface — token
+            methods fall back to the generic implementations."""
+
+            raw_signature_tokens = False
+
+            def mask_token(self, target_specificity):
+                return Feature.mask_token(self, target_specificity)
+
+            @classmethod
+            def mask_raw(cls, token, target_specificity):
+                return Feature.mask_raw.__func__(cls, token, target_specificity)
+
+            def generalize(self):
+                return WireTokenProtocol(None)
+
+            @classmethod
+            def root(cls):
+                return cls(None)
+
+        monkeypatch.setitem(schema_module._FEATURE_TYPES, "protocol", WireTokenProtocol)
+        monkeypatch.setitem(
+            schema_module._EXTRACTORS, "protocol",
+            lambda record: WireTokenProtocol(record.protocol),
+        )
+        monkeypatch.setitem(schema_module._ROOTS, "protocol", WireTokenProtocol.root)
+        schema = schema_module.FlowSchema(
+            "5f-wire", ("src_ip", "dst_ip", "src_port", "dst_port", "protocol")
+        )
+        assert not Flowtree(schema, FlowtreeConfig())._raw_token_schema
+
+        packets = list(CaidaLikeTraceGenerator(seed=9, flow_population=20_000).packets(6_000))
+        reference = Flowtree(schema, FlowtreeConfig(max_nodes=None))
+        reference.add_batch(packets)
+        tree = Flowtree(schema, FlowtreeConfig(max_nodes=64, compaction="rebuild"))
+        tree.add_batch(packets)
+        tree.validate()
+        assert tree.stats.rebuilds > 0
+        assert len(tree) <= 64
+        assert tree.total_counters() == reference.total_counters()
+
+    def test_rebuild_without_raw_token_schema_uses_key_items(self, schema_5f, monkeypatch):
+        """A feature type that cannot vouch for raw-signature tokens must
+        push the rebuild through the (always-consistent) key-items path —
+        same results, just without the key-construction shortcut."""
+        from repro.features.protocol import Protocol
+
+        packets = list(CaidaLikeTraceGenerator(seed=9, flow_population=20_000).packets(8_000))
+        reference = Flowtree(schema_5f, FlowtreeConfig(max_nodes=64, compaction="rebuild"))
+        reference.add_batch(packets)
+        monkeypatch.setattr(Protocol, "raw_signature_tokens", False)
+        tree = Flowtree(schema_5f, FlowtreeConfig(max_nodes=64, compaction="rebuild"))
+        assert not tree._raw_token_schema
+        tree.add_batch(packets)
+        tree.validate()
+        assert tree.stats.rebuilds > 0
+        assert tree.total_counters() == reference.total_counters()
+        assert to_bytes(tree) == to_bytes(reference)
+
+    def test_rebuild_is_deterministic(self):
+        packets = list(CaidaLikeTraceGenerator(seed=5, flow_population=20_000).packets(12_000))
+        config = FlowtreeConfig(max_nodes=256, compaction="rebuild")
+        first = Flowtree(SCHEMA_4F, config)
+        first.add_batch(packets)
+        second = Flowtree(SCHEMA_4F, config)
+        second.add_batch(packets)
+        assert to_bytes(first) == to_bytes(second)
+
+    def test_unbounded_mode_is_untouched_by_strategy(self):
+        """With compaction disabled the mode must not change a single byte."""
+        records = [make_record(src=f"10.3.{i % 40}.{i % 7}", sport=3000 + i) for i in range(300)]
+        reference = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=None))
+        for record in records:
+            reference.add_record(record)
+        for mode in ("incremental", "rebuild", "auto"):
+            tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=None, compaction=mode))
+            tree.add_batch(records)
+            assert to_bytes(tree) == to_bytes(reference), mode
+
+
+class TestAutoDispatch:
+    def _distinct_records(self, count):
+        return [
+            make_record(src=f"10.{i // 250}.{(i // 50) % 5}.{i % 50}", sport=1000 + i % 997)
+            for i in range(count)
+        ]
+
+    def test_auto_stays_incremental_on_small_overshoot(self):
+        tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=64, compaction="auto"))
+        tree.add_batch(self._distinct_records(70), batch_size=0)
+        assert tree.stats.rebuilds == 0
+        assert tree.stats.compactions >= 1
+        assert len(tree) <= 64
+
+    def test_auto_rebuilds_on_large_overshoot(self):
+        tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=64, compaction="auto"))
+        tree.add_batch(self._distinct_records(600), batch_size=0)
+        assert tree.stats.rebuilds >= 1
+        assert len(tree) <= 64
+
+    def test_auto_ignores_resident_working_set(self):
+        """Re-covering keys the tree already holds is not an overshoot: a
+        steady-state working set that fits the budget must never trigger a
+        rebuild (or any compaction), no matter how many batches re-cover it."""
+        records = self._distinct_records(55)     # + root = 56 nodes, fits 64
+        tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=64, compaction="auto"))
+        for _ in range(5):
+            tree.add_batch(records, batch_size=0)
+        assert tree.stats.rebuilds == 0
+        assert tree.stats.compactions == 0
+        assert len(tree) == 56
+
+    def test_add_aggregated_streams_generator_inputs(self):
+        """Generator items must not be buffered for dispatch; they stream
+        through the incremental pass and the budget still ends enforced
+        (via compact() at the batch boundary, rebuild mode included)."""
+        from repro.core.key import FlowKey
+
+        tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=64, compaction="rebuild"))
+        tree.add_aggregated(
+            (FlowKey.from_record(SCHEMA_4F, record), 1, 0, 1)
+            for record in self._distinct_records(300)
+        )
+        tree.validate()
+        assert len(tree) <= 64
+        assert tree.total_counters().packets == 300
+        assert tree.stats.rebuilds >= 1      # forced mode applied at the boundary
+
+    def test_forced_rebuild_applies_to_eager_compact_below_max(self):
+        """compact() between target and max_nodes must still honour a
+        forced rebuild mode (dispatch is on the compaction target)."""
+        records = self._distinct_records(60)     # 61 nodes: over target 51, under max 64
+        tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=64, compaction="rebuild"))
+        tree.add_batch(records, batch_size=0)
+        assert tree.stats.rebuilds == 0          # never exceeded max_nodes
+        removed = tree.compact()
+        assert removed > 0
+        assert tree.stats.rebuilds == 1
+        assert len(tree) <= 51
+
+    def test_auto_threshold_is_configurable(self):
+        config = FlowtreeConfig(max_nodes=64, compaction="auto", rebuild_threshold=100.0)
+        tree = Flowtree(SCHEMA_4F, config)
+        tree.add_batch(self._distinct_records(600), batch_size=0)
+        assert tree.stats.rebuilds == 0          # overshoot never crosses 100x budget
+        assert len(tree) <= 64
+
+    def test_incremental_mode_never_rebuilds(self):
+        tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=64, compaction="incremental"))
+        tree.add_batch(self._distinct_records(600), batch_size=0)
+        assert tree.stats.rebuilds == 0
+        assert len(tree) <= 64
+
+    def test_rebuild_mode_covers_the_per_record_path(self):
+        """compact() itself dispatches, so plain add() streams rebuild too."""
+        tree = Flowtree(SCHEMA_4F, FlowtreeConfig(max_nodes=64, compaction="rebuild"))
+        for record in self._distinct_records(200):
+            tree.add_record(record)
+        tree.validate()
+        assert tree.stats.rebuilds >= 1
+        assert tree.stats.updates == 200
+        assert len(tree) <= 64
+
+    def test_rebuild_selected_policy(self):
+        auto = FlowtreeConfig(max_nodes=100, compaction="auto", rebuild_threshold=0.5)
+        assert not auto.rebuild_selected(0)
+        assert not auto.rebuild_selected(50)     # exactly at threshold: incremental
+        assert auto.rebuild_selected(51)
+        assert not FlowtreeConfig(max_nodes=None).rebuild_selected(10_000)
+        assert FlowtreeConfig(max_nodes=100, compaction="rebuild").rebuild_selected(1)
+        assert not FlowtreeConfig(
+            max_nodes=100, compaction="incremental"
+        ).rebuild_selected(10_000)
+
+    def test_invalid_mode_and_threshold_raise(self):
+        with pytest.raises(ConfigurationError):
+            FlowtreeConfig(compaction="bulk")
+        with pytest.raises(ConfigurationError):
+            FlowtreeConfig(rebuild_threshold=0)
+
+
+class TestShardedAndParallelFlowThrough:
+    """The mode must flow through sharding and the process executor
+    without observable divergence between the two execution paths."""
+
+    def test_sharded_inherits_mode_and_stays_merge_consistent(self, packet_stream_small):
+        config = FlowtreeConfig(max_nodes=256, compaction="rebuild")
+        sharded = ShardedFlowtree(SCHEMA_4F, config, num_shards=2)
+        sharded.add_batch(packet_stream_small, batch_size=512)
+        sharded.validate()
+        snapshot = sharded.stats_snapshot()
+        assert snapshot["rebuilds"] >= 1
+        merged = sharded.merged_tree()
+        assert merged.total_counters() == sharded.total_counters()
+        assert len(merged) <= config.max_nodes
+
+    def test_parallel_byte_identical_to_in_process_under_rebuild(self, packet_stream_small):
+        config = FlowtreeConfig(max_nodes=128, compaction="rebuild")
+        sharded = ShardedFlowtree(SCHEMA_4F, config, num_shards=2)
+        sharded.add_batch(packet_stream_small, batch_size=512)
+        with ParallelShardedFlowtree(SCHEMA_4F, config, num_workers=2) as parallel:
+            parallel.add_batch(packet_stream_small, batch_size=512)
+            assert to_bytes(parallel.merged_tree()) == to_bytes(sharded.merged_tree())
+
+    def test_parallel_byte_identical_under_auto(self, packet_stream_small):
+        config = FlowtreeConfig(max_nodes=128, compaction="auto")
+        sharded = ShardedFlowtree(SCHEMA_4F, config, num_shards=2)
+        sharded.add_batch(packet_stream_small, batch_size=512)
+        with ParallelShardedFlowtree(SCHEMA_4F, config, num_workers=2) as parallel:
+            parallel.add_batch(packet_stream_small, batch_size=512)
+            assert to_bytes(parallel.merged_tree()) == to_bytes(sharded.merged_tree())
+
+
+class TestTokenContract:
+    """mask_token / mask_raw back the token-space fold; their contract is
+    agreement with generalize_to and composability."""
+
+    @given(value=st.integers(0, 2**32 - 1),
+           s1=st.integers(0, 32), s2=st.integers(0, 32))
+    @settings(max_examples=100, deadline=None)
+    def test_prefix_tokens_agree_and_compose(self, value, s1, s2):
+        low, high = sorted((s1, s2))
+        feature = IPv4Prefix(value & ~((1 << (32 - high)) - 1) if high < 32 else value, high)
+        assert feature.mask_token(low) == IPv4Prefix.mask_raw(feature.network, low)
+        assert IPv4Prefix.mask_raw(IPv4Prefix.mask_raw(value, high), low) == \
+            IPv4Prefix.mask_raw(value, low)
+        assert feature.mask_token(low) == feature.generalize_to(low).mask_token(low)
+
+    @given(port=st.integers(0, 65_535), s1=st.integers(0, 16), s2=st.integers(0, 16))
+    @settings(max_examples=100, deadline=None)
+    def test_port_tokens_compose(self, port, s1, s2):
+        low, high = sorted((s1, s2))
+        assert PortRange.mask_raw(PortRange.mask_raw(port, high), low) == \
+            PortRange.mask_raw(port, low)
+
+    def test_protocol_tokens(self):
+        tcp = Protocol(6)
+        assert tcp.mask_token(1) == 6
+        assert tcp.mask_token(0) is None
+        assert Protocol.mask_raw(6, 1) == 6
+        assert Protocol.mask_raw(6, 0) is None
+
+    def test_tokens_identify_ancestors(self):
+        a = IPv4Prefix((10 << 24) | (1 << 16) | (2 << 8) | 3, 32)
+        b = IPv4Prefix((10 << 24) | (1 << 16) | (2 << 8) | 9, 32)
+        c = IPv4Prefix((10 << 24) | (9 << 16), 32)
+        assert a.mask_token(24) == b.mask_token(24)
+        assert a.mask_token(24) != c.mask_token(24)
+        assert (a.mask_token(24) == b.mask_token(24)) == (
+            a.generalize_to(24) == b.generalize_to(24)
+        )

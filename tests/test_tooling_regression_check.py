@@ -1,4 +1,11 @@
-"""The CI benchmark-regression checker (scripts/check_bench_regression.py)."""
+"""The CI benchmark-regression checker (scripts/check_bench_regression.py).
+
+The checker gates merges on *relative* claim metrics (``rel_*`` entries in
+each benchmark's ``extra_info`` — speedup ratios measured in-process, so
+robust to runner variance) and reports absolute mean wall times warn-only.
+The baseline is promoted only when a run passes, so a regression keeps
+being compared against the last good run.
+"""
 
 import importlib.util
 import json
@@ -12,10 +19,15 @@ check = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(check)
 
 
-def _write(path: Path, means: dict) -> Path:
+def _write(path: Path, means: dict, extra: dict = None) -> Path:
     document = {
         "benchmarks": [
-            {"name": name, "stats": {"mean": mean}} for name, mean in means.items()
+            {
+                "name": name,
+                "stats": {"mean": mean},
+                "extra_info": (extra or {}).get(name, {}),
+            }
+            for name, mean in means.items()
         ]
     }
     path.write_text(json.dumps(document))
@@ -38,25 +50,76 @@ class TestCompare:
         report = check.compare({"a": 1.0}, {"a": 1.2000001}, threshold=0.2)
         assert report["regressed"]
 
+    def test_relative_direction_is_higher_is_better(self):
+        previous = {"b::rel_speedup": 4.0, "b::rel_other": 2.0}
+        current = {"b::rel_speedup": 3.0, "b::rel_other": 2.6, "b::rel_new": 1.0}
+        report = check.compare_relative(previous, current, threshold=0.2)
+        assert [row[0] for row in report["regressed"]] == ["b::rel_speedup"]
+        assert [row[0] for row in report["improved"]] == ["b::rel_other"]
+        assert [name for name, _ in report["unmatched"]] == ["b::rel_new"]
+
+    def test_relative_flags_metrics_missing_from_current(self):
+        report = check.compare_relative(
+            {"b::rel_speedup": 4.0}, {}, threshold=0.2
+        )
+        assert report["missing"] == [("b::rel_speedup", 4.0)]
+
+
+class TestLoaders:
+    def test_loader_reads_pytest_benchmark_schema(self, tmp_path):
+        path = _write(tmp_path / "bench.json", {"x": 0.25, "y": 3.5})
+        assert check.load_benchmark_means(path) == {"x": 0.25, "y": 3.5}
+
+    def test_relative_loader_filters_prefix_and_non_numbers(self, tmp_path):
+        path = _write(
+            tmp_path / "bench.json",
+            {"x": 1.0},
+            extra={"x": {"rel_speedup": 2.5, "note": "free-form",
+                         "rel_flag": True, "scale": 4}},
+        )
+        assert check.load_relative_metrics(path) == {"x::rel_speedup": 2.5}
+
 
 class TestMain:
-    def test_regression_fails_unless_warn_only(self, tmp_path, capsys):
+    def test_mean_slowdown_is_warn_only(self, tmp_path, capsys):
+        """Absolute wall times never gate — shared runners are too noisy."""
         previous = _write(tmp_path / "prev.json", {"bench": 1.0})
         current = _write(tmp_path / "cur.json", {"bench": 2.0})
+        assert check.main([str(previous), str(current)]) == 0
+        assert "warn: slower" in capsys.readouterr().out
+
+    def test_relative_regression_fails_unless_warn_only(self, tmp_path, capsys):
+        previous = _write(tmp_path / "prev.json", {"bench": 1.0},
+                          extra={"bench": {"rel_speedup": 4.0}})
+        current = _write(tmp_path / "cur.json", {"bench": 1.0},
+                         extra={"bench": {"rel_speedup": 2.0}})
         assert check.main([str(previous), str(current)]) == 1
         assert "REGRESSION" in capsys.readouterr().out
         assert check.main([str(previous), str(current), "--warn-only"]) == 0
 
     def test_clean_run_passes(self, tmp_path, capsys):
-        previous = _write(tmp_path / "prev.json", {"bench": 1.0})
-        current = _write(tmp_path / "cur.json", {"bench": 1.1})
+        previous = _write(tmp_path / "prev.json", {"bench": 1.0},
+                          extra={"bench": {"rel_speedup": 4.0}})
+        current = _write(tmp_path / "cur.json", {"bench": 1.1},
+                         extra={"bench": {"rel_speedup": 4.1}})
         assert check.main([str(previous), str(current)]) == 0
-        assert "no regression" in capsys.readouterr().out
+        assert "no claim-metric regression" in capsys.readouterr().out
 
     def test_missing_baseline_is_not_an_error(self, tmp_path, capsys):
         current = _write(tmp_path / "cur.json", {"bench": 1.0})
         assert check.main([str(tmp_path / "absent.json"), str(current)]) == 0
         assert "no baseline" in capsys.readouterr().out
+
+    def test_vanished_claim_metric_fails_the_gate(self, tmp_path, capsys):
+        """Renaming or breaking a gated benchmark must not disarm the gate."""
+        previous = _write(tmp_path / "prev.json", {"bench": 1.0},
+                          extra={"bench": {"rel_speedup": 4.0}})
+        baseline_before = previous.read_text()
+        current = _write(tmp_path / "cur.json", {"renamed": 1.0})
+        assert check.main([str(previous), str(current),
+                           "--promote-to", str(previous)]) == 1
+        assert "MISSING" in capsys.readouterr().out
+        assert previous.read_text() == baseline_before   # not promoted
 
     def test_unreadable_input_exits_2(self, tmp_path):
         previous = _write(tmp_path / "prev.json", {"bench": 1.0})
@@ -64,6 +127,35 @@ class TestMain:
         broken.write_text("{not json")
         assert check.main([str(previous), str(broken)]) == 2
 
-    def test_loader_reads_pytest_benchmark_schema(self, tmp_path):
-        path = _write(tmp_path / "bench.json", {"x": 0.25, "y": 3.5})
-        assert check.load_benchmark_means(path) == {"x": 0.25, "y": 3.5}
+
+class TestPromotion:
+    """The baseline must only ever advance to a run that passed."""
+
+    def test_promotes_on_pass(self, tmp_path):
+        previous = _write(tmp_path / "prev.json", {"bench": 1.0},
+                          extra={"bench": {"rel_speedup": 4.0}})
+        current = _write(tmp_path / "cur.json", {"bench": 1.0},
+                         extra={"bench": {"rel_speedup": 4.2}})
+        assert check.main([str(previous), str(current),
+                           "--promote-to", str(previous)]) == 0
+        assert json.loads(previous.read_text()) == json.loads(current.read_text())
+
+    def test_promotes_on_first_run_without_baseline(self, tmp_path):
+        baseline = tmp_path / "prev.json"
+        current = _write(tmp_path / "cur.json", {"bench": 1.0})
+        assert check.main([str(baseline), str(current),
+                           "--promote-to", str(baseline)]) == 0
+        assert json.loads(baseline.read_text()) == json.loads(current.read_text())
+
+    @pytest.mark.parametrize("warn_only", [False, True])
+    def test_regressed_run_never_becomes_baseline(self, tmp_path, warn_only):
+        previous = _write(tmp_path / "prev.json", {"bench": 1.0},
+                          extra={"bench": {"rel_speedup": 4.0}})
+        baseline_before = previous.read_text()
+        current = _write(tmp_path / "cur.json", {"bench": 1.0},
+                         extra={"bench": {"rel_speedup": 1.0}})
+        argv = [str(previous), str(current), "--promote-to", str(previous)]
+        if warn_only:
+            argv.append("--warn-only")
+        assert check.main(argv) == (0 if warn_only else 1)
+        assert previous.read_text() == baseline_before
