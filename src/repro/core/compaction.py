@@ -115,6 +115,7 @@ class Compactor:
                         remaining.discard(index)
                         continue
                     target.counters.add(victim.counters)
+                    target.invalidate_subtree_cache()
                     tree._remove_node(victim)
                     remaining.discard(index)
 
@@ -128,6 +129,7 @@ class Compactor:
                     continue
                 parent = victim.parent if victim.parent is not None else tree.root
                 parent.counters.add(victim.counters)
+                parent.invalidate_subtree_cache()
                 tree._remove_node(victim)
                 shortfall -= 1
                 if shortfall <= 0:
@@ -394,3 +396,4 @@ def fold_into(target: FlowtreeNode, victims: Sequence[FlowtreeNode]) -> None:
     """
     for victim in victims:
         target.counters.add(victim.counters)
+    target.invalidate_subtree_cache()

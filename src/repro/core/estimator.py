@@ -5,29 +5,98 @@ popularity query.  Operators rarely ask one question at a time — they ask
 "what is underneath this /8?" or "estimate every flow in this list" — so
 this module provides the batch and exploratory forms used by the analysis
 layer, the CLI and the distributed query engine.
+
+All helpers run on the tree's query index (cached subtree aggregates plus
+the per-level token projection index, see :mod:`repro.core.query`):
+:func:`estimate_many` warms the aggregates in one bottom-up sweep and then
+answers each key in O(1)-ish time, :func:`decompose` locates the residual
+ancestor and the contributing descendants in a single pass, and
+:func:`children_of` / :func:`drill_down` bucket projection-index hits
+instead of re-scanning every kept node per level.  The naive full-scan
+semantics these must match are kept executable in
+:mod:`repro.core.reference`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.core.errors import QueryError
 from repro.core.flowtree import Estimate, Flowtree
 from repro.core.key import FlowKey
-from repro.features.base import Feature
+from repro.core.node import Counters, FlowtreeNode
+from repro.core.query import ProbeMemo
 
 
 def estimate_many(tree: Flowtree, keys: Iterable[FlowKey]) -> Dict[FlowKey, Estimate]:
-    """Estimate every key of an iterable; returns a key-indexed mapping."""
-    return {key: tree.estimate(key) for key in keys}
+    """Estimate every key of an iterable; returns a key-indexed mapping.
+
+    This is the preferred bulk API: the subtree aggregates are primed once
+    (one bottom-up sweep over the dirty region, shared by every queried
+    key), then each answer is assembled inline from cache hits and
+    token-space index probes — no per-key aggregation walk, no per-key
+    dispatch overhead.  Answers are byte-identical to per-key
+    :meth:`~repro.core.flowtree.Flowtree.estimate` calls (the property
+    tests pin this), but a large batch runs several times faster.
+    """
+    keys = list(keys)
+    if not keys:
+        return {}
+    tree.prime_query_caches()
+    nodes = tree._nodes
+    index = tree._query_index
+    arity = len(tree.schema)
+    max_spec = tree.chain_builder.max_specificity
+    answers: Dict[FlowKey, Estimate] = {}
+    # Batch-local caches (the tree does not mutate inside one call):
+    # ancestors memoized per deepest-level token signature, and the scaled
+    # ancestor share memoized per (ancestor, key cardinality) for fully
+    # specific keys — nothing is contained in them, so that pair fully
+    # determines the answer's counters.
+    ancestor_memo: ProbeMemo = {}
+    share_memo: Dict[Tuple[int, int], Counters] = {}
+    for key in keys:
+        if key.arity != arity:
+            raise QueryError(
+                f"query key has arity {key.arity}, schema {tree.schema.name!r} "
+                f"has {arity} fields"
+            )
+        if key in answers:
+            continue  # duplicate query keys share one computed answer
+        node = nodes.get(key)
+        if node is not None:
+            total = node.subtree_total()
+            answers[key] = Estimate(
+                key, total.copy(), True, total - node.counters, None
+            )
+            continue
+        if key.specificity_vector == max_spec:
+            # The memo is scoped to one probe plan; fully specific keys all
+            # share the max-specificity plan, so only they may use it.
+            ancestor = index.nearest_ancestor(key, memo=ancestor_memo)
+            cardinality = key.cardinality
+            template = share_memo.get((id(ancestor), cardinality))
+            if template is None:
+                share = min(1.0, cardinality / ancestor.key.cardinality)
+                template = ancestor.counters.scaled(share)
+                share_memo[(id(ancestor), cardinality)] = template
+            answers[key] = Estimate(
+                key, template.copy(), False, None, template.copy()
+            )
+            continue
+        answers[key] = tree._estimate_absent(key)
+    return answers
 
 
 def estimate_values(
     tree: Flowtree, keys: Iterable[FlowKey], metric: str = "packets"
 ) -> Dict[FlowKey, int]:
     """Like :func:`estimate_many` but returning bare numbers for one metric."""
-    return {key: tree.estimate(key).value(metric) for key in keys}
+    return {
+        key: estimate.value(metric)
+        for key, estimate in estimate_many(tree, keys).items()
+    }
 
 
 @dataclass(frozen=True)
@@ -43,6 +112,19 @@ class DecompositionTerm:
     value: int
 
 
+def _node_terms(
+    nodes: Iterable[FlowtreeNode], metric: str
+) -> List[DecompositionTerm]:
+    """Non-zero node terms, deterministically ordered (specificity, wire)."""
+    terms = [
+        DecompositionTerm(node.key, "node", value)
+        for node in nodes
+        if (value := node.counters.weight(metric))
+    ]
+    terms.sort(key=lambda term: (term.key.specificity, term.key.to_wire()))
+    return terms
+
+
 def decompose(tree: Flowtree, key: FlowKey, metric: str = "packets") -> List[DecompositionTerm]:
     """Explain how a query is answered (the paper's query decomposition).
 
@@ -51,22 +133,24 @@ def decompose(tree: Flowtree, key: FlowKey, metric: str = "packets") -> List[Dec
     the nearest kept ancestor.  The sum of the term values equals the
     estimate returned by :meth:`Flowtree.estimate` (up to rounding of the
     residual share).
+
+    For absent keys the contributing descendants and the residual ancestor
+    come from one :meth:`Flowtree._absent_query_parts` call — the same
+    single pass the estimator runs — instead of one containment scan for
+    the terms plus a second full ``estimate`` for the residual.
     """
-    terms: List[DecompositionTerm] = []
-    if key in tree:
-        node = tree._get_node(key)
-        for member in node.iter_subtree():
-            value = member.counters.weight(metric)
-            if value:
-                terms.append(DecompositionTerm(member.key, "node", value))
-        return terms
-    for other_key, counters in tree.items():
-        if key.contains(other_key):
-            value = counters.weight(metric)
-            if value:
-                terms.append(DecompositionTerm(other_key, "node", value))
-    estimate = tree.estimate(key)
-    residual = estimate.from_ancestor.weight(metric)
+    if key.arity != len(tree.schema):
+        raise QueryError(
+            f"query key has arity {key.arity}, schema {tree.schema.name!r} "
+            f"has {len(tree.schema)} fields"
+        )
+    node = tree._get_node(key)
+    if node is not None:
+        return _node_terms(node.iter_subtree(), metric)
+    ancestor, contained = tree._absent_query_parts(key)
+    terms = _node_terms(contained, metric)
+    share = min(1.0, key.cardinality / ancestor.key.cardinality)
+    residual = ancestor.counters.scaled(share).weight(metric)
     if residual:
         terms.append(DecompositionTerm(key, "residual", residual))
     return terms
@@ -87,42 +171,43 @@ def children_of(
     /16s).  Only kept keys contribute, so the breakdown reflects what the
     summary knows; the remainder (traffic the summary only holds at coarser
     granularity) is reported under ``key`` itself as the last entry.
+
+    The kept keys below ``key`` come from one projection-index bucket
+    lookup and are grouped by their masked feature *token*, so neither a
+    full node scan nor a per-node bucket-key construction happens: one
+    bucket key is built per distinct child, not per contributing node.
     """
     if not 0 <= feature_index < key.arity:
         raise QueryError(f"feature index {feature_index} out of range for key {key.pretty()}")
     total = tree.estimate(key).value(metric)
-    buckets: Dict[FlowKey, int] = {}
-    for other_key, counters in tree.items():
-        if other_key == key or not key.contains(other_key):
-            continue
-        feature = other_key[feature_index]
-        target_spec = key[feature_index].specificity + step
+    target_spec = key[feature_index].specificity + step
+    # token -> [accumulated value, sample feature to materialize the bucket key]
+    groups: Dict[object, list] = {}
+    for node in tree._query_index.contained_nodes(key):
+        feature = node.key[feature_index]
         if feature.specificity < target_spec:
             continue
-        bucket_key = _generalize_single_feature(other_key, feature_index, target_spec, key)
-        buckets[bucket_key] = buckets.get(bucket_key, 0) + counters.weight(metric)
-    ranked = sorted(
-        ((bucket, value) for bucket, value in buckets.items() if value >= min_value),
-        key=lambda item: item[1],
-        reverse=True,
-    )
+        token = feature.mask_token(target_spec)
+        entry = groups.get(token)
+        if entry is None:
+            groups[token] = [node.counters.weight(metric), feature]
+        else:
+            entry[0] += node.counters.weight(metric)
+    features = list(key.features)
+    ranked = []
+    for value, feature in groups.values():
+        if value < min_value:
+            continue
+        features[feature_index] = feature.generalize_to(target_spec)
+        ranked.append((FlowKey(features), value))
+    # Deterministic order: by value, ties by wire form (full scans used to
+    # leave ties in insertion order, which is not reproducible).
+    ranked.sort(key=lambda item: (-item[1], item[0].to_wire()))
     accounted = sum(value for _, value in ranked)
     remainder = total - accounted
     if remainder > 0:
         ranked.append((key, remainder))
     return ranked
-
-
-def _generalize_single_feature(
-    key: FlowKey, feature_index: int, target_specificity: int, template: FlowKey
-) -> FlowKey:
-    """Project ``key`` so only ``feature_index`` stays specific (at ``target_specificity``)."""
-    features: List[Feature] = list(template.features)
-    feature = key[feature_index]
-    while feature.specificity > target_specificity:
-        feature = feature.generalize()
-    features[feature_index] = feature
-    return FlowKey(features)
 
 
 @dataclass(frozen=True)
@@ -149,7 +234,9 @@ def drill_down(
     This automates the paper's motivating workflow ("prefix X/8 received a
     lot of traffic — is it one IP, one /24, or something broader?"): at each
     level the largest bucket is followed as long as it carries at least
-    ``dominance`` of its parent's traffic.
+    ``dominance`` of its parent's traffic.  Each level costs one
+    projection-bucket lookup instead of a scan over every kept node, so a
+    whole investigation is output-sized, not depth × tree-sized.
     """
     path: List[DrilldownStep] = []
     current = start
@@ -165,7 +252,9 @@ def drill_down(
         share = best_value / current_value if current_value else 0.0
         if share < dominance:
             break
-        path.append(DrilldownStep(key=best_key, value=best_value, share_of_parent=share, depth=depth))
+        path.append(
+            DrilldownStep(key=best_key, value=best_value, share_of_parent=share, depth=depth)
+        )
         current, current_value = best_key, best_value
     return path
 

@@ -16,7 +16,7 @@ queries pay the aggregation cost instead.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import islice
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -26,6 +26,7 @@ from repro.core.errors import QueryError, SchemaMismatchError
 from repro.core.key import FlowKey
 from repro.core.node import Counters, FlowtreeNode
 from repro.core.policy import ChainBuilder, GeneralizationPolicy, get_policy
+from repro.core.query import QueryIndex
 from repro.features.schema import FlowSchema
 
 
@@ -33,6 +34,11 @@ from repro.features.schema import FlowSchema
 #: shared by :meth:`Flowtree.add_batch`, :class:`ShardedFlowtree` and the
 #: distributed daemon so the paths can't drift apart.
 DEFAULT_BATCH_SIZE = 16_384
+
+#: :meth:`Flowtree.merge_many` switches from pairwise merges to the
+#: token-space bulk fold at this many input summaries — below it the
+#: per-key path's constant factors win.
+MERGE_FOLD_MIN_TREES = 4
 
 
 def preaggregate_records(records, signature_of, count_bytes: bool) -> Dict[object, list]:
@@ -87,9 +93,12 @@ class UpdateStats:
         }
 
 
-@dataclass(frozen=True)
 class Estimate:
-    """Result of a popularity query.
+    """Result of a popularity query (treat as immutable).
+
+    A plain ``__slots__`` class rather than a dataclass: batch queries
+    construct one per key, and the slimmer constructor is measurable on
+    the ``estimate_many`` hot path.
 
     Attributes:
         key: the queried key.
@@ -102,15 +111,47 @@ class Estimate:
             ancestor's complementary popularity (zero for exact nodes).
     """
 
-    key: FlowKey
-    counters: Counters
-    exact_node: bool
-    from_descendants: Counters = field(default_factory=Counters)
-    from_ancestor: Counters = field(default_factory=Counters)
+    __slots__ = ("key", "counters", "exact_node", "from_descendants", "from_ancestor")
+
+    def __init__(
+        self,
+        key: FlowKey,
+        counters: Counters,
+        exact_node: bool,
+        from_descendants: Optional[Counters] = None,
+        from_ancestor: Optional[Counters] = None,
+    ) -> None:
+        self.key = key
+        self.counters = counters
+        self.exact_node = exact_node
+        self.from_descendants = (
+            from_descendants if from_descendants is not None else Counters()
+        )
+        self.from_ancestor = (
+            from_ancestor if from_ancestor is not None else Counters()
+        )
 
     def value(self, metric: str = "packets") -> int:
         """Shortcut for ``counters.weight(metric)``."""
         return self.counters.weight(metric)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Estimate)
+            and self.key == other.key
+            and self.counters == other.counters
+            and self.exact_node == other.exact_node
+            and self.from_descendants == other.from_descendants
+            and self.from_ancestor == other.from_ancestor
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Estimate(key={self.key!r}, counters={self.counters!r}, "
+            f"exact_node={self.exact_node}, "
+            f"from_descendants={self.from_descendants!r}, "
+            f"from_ancestor={self.from_ancestor!r})"
+        )
 
 
 class Flowtree:
@@ -168,6 +209,10 @@ class Flowtree:
         self._populated_levels: List[Tuple[int, Tuple[int, ...]]] = [
             (len(self._trajectory_order) - 1, self._root_spec)
         ]
+        # Query-side index (per-level token registry + lazy projections).
+        # Cold until the first query touches it; every maintenance hook
+        # below is an O(1) no-op before that, so ingestion pays nothing.
+        self._query_index = QueryIndex(self)
 
     # -- basic properties -----------------------------------------------------
 
@@ -226,11 +271,12 @@ class Flowtree:
         return node.counters.copy() if node is not None else None
 
     def total_counters(self) -> Counters:
-        """Total traffic summarized (sum of all complementary counters)."""
-        total = Counters()
-        for node in self._nodes.values():
-            total.add(node.counters)
-        return total
+        """Total traffic summarized (sum of all complementary counters).
+
+        Equals the root's subtree aggregate (every kept node is reachable
+        from the root), so this is O(1) once the caches are warm.
+        """
+        return self._root.subtree_total().copy()
 
     # -- update path ----------------------------------------------------------
 
@@ -258,6 +304,7 @@ class Flowtree:
         node.counters.bytes += bytes
         node.counters.flows += flows
         node.updated_seq = self._stats.updates
+        node.invalidate_subtree_cache()
         self._maybe_compact()
 
     def add_record(self, record: object) -> None:
@@ -431,6 +478,7 @@ class Flowtree:
             counters.packets += packets
             counters.bytes += byte_count
             counters.flows += flows
+            node.invalidate_subtree_cache()
             touched.append(node)
             if inserted and overshoot_limit is not None and len(nodes) > overshoot_limit:
                 self.compact()
@@ -511,6 +559,7 @@ class Flowtree:
         ancestor.attach_child(node)
         self._nodes[key] = node
         self._stats.inserts += 1
+        self._query_index.node_added(node)
         return node
 
     def _maybe_compact(self) -> None:
@@ -588,6 +637,10 @@ class Flowtree:
         old_nodes = self._nodes
         root = self._root
         root.children.clear()
+        # Wholesale rewrite: drop the query index (rebuilt lazily) and the
+        # root's cached aggregate (its counters were topped up directly).
+        self._query_index.invalidate()
+        root.subtree_cache = None
         self._nodes = {root.key: root}
         self._interior_levels = {self._root_spec: 1}
         self._populated_levels = [
@@ -628,6 +681,7 @@ class Flowtree:
             parent.attach_child(child)
         node.detach()
         del self._nodes[node.key]
+        self._query_index.node_removed(node)
         vec = node.key.specificity_vector
         if vec != self._max_spec and vec in self._traj_index:
             self._level_removed(vec)
@@ -666,6 +720,7 @@ class Flowtree:
             vec = key.specificity_vector
             if vec != self._max_spec and vec in self._traj_index:
                 self._level_added(vec)
+            self._query_index.node_added(node)
             created[key] = node
             parents.append(ancestor)
         if not created:
@@ -712,58 +767,23 @@ class Flowtree:
             )
         node = self._nodes.get(key)
         if node is not None:
-            descendants = Counters()
-            for member in node.iter_subtree():
-                if member is not node:
-                    descendants.add(member.counters)
-            total = node.counters + descendants
+            # Kept key: answered from the cached subtree aggregate — O(1)
+            # after the first touch instead of one subtree walk per call.
+            total = node.subtree_total()
             return Estimate(
                 key=key,
-                counters=total,
+                counters=total.copy(),
                 exact_node=True,
-                from_descendants=descendants,
+                from_descendants=total - node.counters,
                 from_ancestor=Counters(),
             )
         return self._estimate_absent(key)
 
     def _estimate_absent(self, key: FlowKey) -> Estimate:
-        fully_specific = key.specificity_vector == self._max_spec
-        if fully_specific:
-            # Nothing can be contained in a fully specific key, so the whole
-            # estimate comes from the nearest kept ancestor.  This is the hot
-            # path of the Fig. 3 accuracy evaluation.
-            ancestor = self._longest_matching_ancestor(key)
-            share = min(1.0, key.cardinality / ancestor.key.cardinality)
-            from_ancestor = ancestor.counters.scaled(share)
-            return Estimate(
-                key=key,
-                counters=from_ancestor.copy(),
-                exact_node=False,
-                from_descendants=Counters(),
-                from_ancestor=from_ancestor,
-            )
-        on_trajectory = key.specificity_vector in self._trajectory_levels
-        if on_trajectory:
-            ancestor = self._longest_matching_ancestor(key)
-            descendants = Counters()
-            for member in ancestor.iter_subtree():
-                if member is not ancestor and key.contains(member.key):
-                    descendants.add(member.counters)
-        else:
-            # Off-trajectory keys (arbitrary lattice points) fall back to a
-            # full scan: time proportional to the number of tree nodes,
-            # exactly the bound stated in the paper.
-            ancestor = self._root
-            descendants = Counters()
-            for other in self._nodes.values():
-                if other.key is ancestor.key:
-                    continue
-                if key.contains(other.key):
-                    descendants.add(other.counters)
-                elif other.key.is_ancestor_of(key) and (
-                    ancestor is self._root or ancestor.key.contains(other.key)
-                ):
-                    ancestor = other
+        ancestor, contained = self._absent_query_parts(key)
+        descendants = Counters()
+        for member in contained:
+            descendants.add(member.counters)
         share = min(1.0, key.cardinality / ancestor.key.cardinality)
         from_ancestor = ancestor.counters.scaled(share)
         total = descendants + from_ancestor
@@ -774,6 +794,25 @@ class Flowtree:
             from_descendants=descendants,
             from_ancestor=from_ancestor,
         )
+
+    def _absent_query_parts(
+        self, key: FlowKey
+    ) -> Tuple[FlowtreeNode, List[FlowtreeNode]]:
+        """Decomposition inputs for an absent query key, via the query index.
+
+        Returns ``(nearest kept ancestor, kept nodes strictly contained in
+        the key)`` — the two ingredients :meth:`estimate` and
+        :func:`~repro.core.estimator.decompose` share, computed in one
+        place so the two can never disagree.  Fully specific keys contain
+        nothing, so only the ancestor probe runs (the hot path of the
+        Fig. 3 accuracy evaluation); generalized keys — on- or
+        off-trajectory — get their descendants from one projection-bucket
+        lookup instead of a subtree containment sweep or a full node scan.
+        """
+        index = self._query_index
+        if key.specificity_vector == self._max_spec:
+            return index.nearest_ancestor(key), []
+        return index.nearest_ancestor(key), index.contained_nodes(key)
 
     def popularity(self, key: FlowKey, metric: str = "packets") -> int:
         """Convenience wrapper: estimated popularity as a single number."""
@@ -786,20 +825,27 @@ class Flowtree:
             raise QueryError(f"key {key.pretty()} is not present in the Flowtree")
         return node.subtree_counters()
 
+    def prime_query_caches(self) -> None:
+        """Fill every node's subtree aggregate in one bottom-up sweep.
+
+        One call makes all subsequent kept-key estimates O(1); batch
+        operators (:func:`~repro.core.estimator.estimate_many`,
+        :meth:`cumulative_counters`) call it so the aggregation cost is
+        paid once per mutation burst, not once per query.  Only the dirty
+        region is visited — a fully warm tree returns immediately.
+        """
+        self._root.subtree_total()
+
     def cumulative_counters(self) -> Dict[FlowKey, Counters]:
-        """Cumulative (subtree) popularity of every kept key, in one O(n log n) pass.
+        """Cumulative (subtree) popularity of every kept key, in one pass.
 
         Equivalent to calling :meth:`subtree_counters` for every key but
-        computed bottom-up, which the alerting layer and reports rely on
-        when comparing whole summaries.
+        served from the subtree aggregates (filled bottom-up in one sweep),
+        which the alerting layer and reports rely on when comparing whole
+        summaries.
         """
-        totals = {key: node.counters.copy() for key, node in self._nodes.items()}
-        for node in sorted(
-            self._nodes.values(), key=lambda member: member.key.specificity, reverse=True
-        ):
-            if node.parent is not None:
-                totals[node.parent.key].add(totals[node.key])
-        return totals
+        self.prime_query_caches()
+        return {key: node.subtree_total().copy() for key, node in self._nodes.items()}
 
     def top(self, n: int = 10, metric: str = "packets") -> List[Tuple[FlowKey, int]]:
         """The ``n`` keys with the largest complementary popularity.
@@ -848,7 +894,48 @@ class Flowtree:
                 continue
             node = self._get_or_create_node(key)
             node.counters.add(counters)
+            node.invalidate_subtree_cache()
         self._stats.merged_trees += 1
+        self._maybe_compact()
+
+    def merge_many(self, others: Iterable["Flowtree"]) -> None:
+        """Merge many summaries into this tree: ``self += sum(others)``.
+
+        Below :data:`MERGE_FOLD_MIN_TREES` inputs (or with compaction
+        forced ``"incremental"``) this is exactly a :meth:`merge` loop.
+        At or above it, all input entries are folded into this tree in one
+        token-space bulk pass (the PR 3 rebuild fold, with a no-fold
+        target, so it acts as bulk union + deduplication): per-key
+        ``_get_or_create_node`` chain resolution is replaced by one sorted
+        construction sweep.  The node budget is then re-enforced once at
+        the end — same contract as the loop, which also only guarantees
+        the budget after each whole ``merge``.
+
+        Counters are conserved exactly and, without a node budget, the
+        result is identical to the pairwise loop; with a budget the two
+        paths may fold different victims (same totals), exactly like the
+        batched-vs-per-record ingestion paths.
+        """
+        others = list(others)
+        for other in others:
+            self._check_compatible(other)
+        if len(others) < MERGE_FOLD_MIN_TREES or self._config.compaction == "incremental":
+            for other in others:
+                self.merge(other)
+            return
+        items: List[Tuple[FlowKey, int, int, int]] = []
+        for other in others:
+            for key, counters in other.items():
+                if counters.is_zero:
+                    continue
+                items.append(
+                    (key, counters.packets, counters.bytes, counters.flows)
+                )
+        # No-fold target: the rebuild pass only unions and deduplicates;
+        # budget enforcement happens once below, with the configured
+        # strategy dispatch, mirroring the pairwise path's end state.
+        self._rebuild_apply(items, target_nodes=len(self._nodes) + len(items) + 1)
+        self._stats.merged_trees += len(others)
         self._maybe_compact()
 
     def merged(self, other: "Flowtree") -> "Flowtree":
@@ -871,6 +958,7 @@ class Flowtree:
                 continue
             node = result._get_or_create_node(key)
             node.counters.subtract(counters)
+            node.invalidate_subtree_cache()
         return result
 
     def copy(self) -> "Flowtree":

@@ -20,13 +20,15 @@ from repro.features.schema import FlowSchema
 class FlowKey:
     """An immutable tuple of feature values identifying a generalized flow."""
 
-    __slots__ = ("_features", "_hash")
+    __slots__ = ("_features", "_hash", "_cardinality", "_spec_vector")
 
     def __init__(self, features: Sequence[Feature]) -> None:
         if not features:
             raise KeyError_("a flow key needs at least one feature")
         self._features: Tuple[Feature, ...] = tuple(features)
         self._hash = hash(self._features)
+        self._cardinality: Optional[int] = None
+        self._spec_vector: Optional[Tuple[int, ...]] = None
 
     # -- constructors -------------------------------------------------------
 
@@ -69,8 +71,12 @@ class FlowKey:
 
     @property
     def specificity_vector(self) -> Tuple[int, ...]:
-        """Per-dimension depth in each feature hierarchy."""
-        return tuple(feature.specificity for feature in self._features)
+        """Per-dimension depth in each feature hierarchy (memoized)."""
+        vector = self._spec_vector
+        if vector is None:
+            vector = tuple(feature.specificity for feature in self._features)
+            self._spec_vector = vector
+        return vector
 
     @property
     def specificity(self) -> int:
@@ -79,10 +85,18 @@ class FlowKey:
 
     @property
     def cardinality(self) -> int:
-        """Number of fully specific keys covered (product of feature cardinalities)."""
-        product = 1
-        for feature in self._features:
-            product *= feature.cardinality
+        """Number of fully specific keys covered (product of feature cardinalities).
+
+        Memoized: the estimator divides by an ancestor's cardinality on
+        every residual-share computation, and batch queries hit the same
+        few ancestors over and over.
+        """
+        product = self._cardinality
+        if product is None:
+            product = 1
+            for feature in self._features:
+                product *= feature.cardinality
+            self._cardinality = product
         return product
 
     # -- lattice operations ---------------------------------------------------

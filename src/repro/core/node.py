@@ -99,7 +99,15 @@ class FlowtreeNode:
     API exposes keys and counter snapshots, not live nodes.
     """
 
-    __slots__ = ("key", "counters", "parent", "children", "created_seq", "updated_seq")
+    __slots__ = (
+        "key",
+        "counters",
+        "parent",
+        "children",
+        "created_seq",
+        "updated_seq",
+        "subtree_cache",
+    )
 
     def __init__(self, key: FlowKey, created_seq: int = 0) -> None:
         self.key = key
@@ -108,21 +116,80 @@ class FlowtreeNode:
         self.children: Dict[FlowKey, "FlowtreeNode"] = {}
         self.created_seq = created_seq
         self.updated_seq = created_seq
+        #: Cached subtree (cumulative) popularity; ``None`` means unknown.
+        #: Maintained lazily: queries fill it bottom-up, mutations clear it
+        #: along the parent chain (see :meth:`invalidate_subtree_cache`).
+        self.subtree_cache: Optional[Counters] = None
 
     # -- structure ----------------------------------------------------------
 
     def attach_child(self, child: "FlowtreeNode") -> None:
-        """Link ``child`` under this node (detaching it from any old parent)."""
-        if child.parent is not None:
-            child.parent.children.pop(child.key, None)
+        """Link ``child`` under this node (detaching it from any old parent).
+
+        Both the old and the new parent chain lose/gain the child's whole
+        subtree, so their cached subtree aggregates are invalidated here —
+        structural moves can never leave a stale aggregate behind.
+        """
+        old_parent = child.parent
+        if old_parent is not None:
+            old_parent.children.pop(child.key, None)
+            old_parent.invalidate_subtree_cache()
         child.parent = self
         self.children[child.key] = child
+        self.invalidate_subtree_cache()
 
     def detach(self) -> None:
         """Unlink this node from its parent (children are untouched)."""
         if self.parent is not None:
             self.parent.children.pop(self.key, None)
+            self.parent.invalidate_subtree_cache()
             self.parent = None
+
+    # -- subtree aggregates --------------------------------------------------
+
+    def invalidate_subtree_cache(self) -> None:
+        """Clear cached subtree aggregates of this node and its ancestors.
+
+        Call after mutating :attr:`counters` (structural changes invalidate
+        through :meth:`attach_child` / :meth:`detach` automatically).  The
+        walk stops at the first already-invalid ancestor, which keeps
+        repeated mutations amortized O(1): during pure ingestion no caches
+        exist, so the walk terminates immediately.
+        """
+        node: Optional[FlowtreeNode] = self
+        while node is not None and node.subtree_cache is not None:
+            node.subtree_cache = None
+            node = node.parent
+
+    def subtree_total(self) -> Counters:
+        """Cached subtree popularity (own counters plus all kept descendants).
+
+        Fills :attr:`subtree_cache` for every node of the dirty region in
+        one iterative bottom-up pass, so the first query after a burst of
+        mutations pays O(dirty subtree) and every following query is O(1).
+        The returned object is the live cache — callers that expose it must
+        :meth:`~Counters.copy` first.
+        """
+        cached = self.subtree_cache
+        if cached is not None:
+            return cached
+        order: List[FlowtreeNode] = []
+        stack: List[FlowtreeNode] = [self]
+        while stack:
+            node = stack.pop()
+            if node.subtree_cache is not None:
+                continue
+            order.append(node)
+            stack.extend(node.children.values())
+        # ``order`` is a pre-order: every node precedes its descendants, so
+        # the reversed sweep always finds child caches already computed.
+        for node in reversed(order):
+            total = node.counters.copy()
+            for child in node.children.values():
+                cache = child.subtree_cache
+                total.add(cache if cache is not None else child.subtree_total())
+            node.subtree_cache = total
+        return self.subtree_cache  # type: ignore[return-value]
 
     @property
     def is_leaf(self) -> bool:
@@ -148,11 +215,12 @@ class FlowtreeNode:
             stack.extend(node.children.values())
 
     def subtree_counters(self) -> Counters:
-        """Total popularity of the key: own plus all kept descendants."""
-        total = Counters()
-        for node in self.iter_subtree():
-            total.add(node.counters)
-        return total
+        """Total popularity of the key: own plus all kept descendants.
+
+        Served from the cached subtree aggregate (computed on first touch,
+        O(1) afterwards); returns an independent copy.
+        """
+        return self.subtree_total().copy()
 
     def __repr__(self) -> str:
         return (

@@ -22,12 +22,17 @@ def merge_all(trees: Sequence[Flowtree]) -> Flowtree:
     The result uses the schema and configuration of the first tree; the
     inputs are not modified.  An empty input is rejected because there is
     no schema to build the result from.
+
+    Merging many summaries goes through :meth:`Flowtree.merge_many`: at
+    :data:`~repro.core.flowtree.MERGE_FOLD_MIN_TREES` or more inputs the
+    entries are unioned in one token-space bulk fold instead of per-key
+    ``merge`` chain resolution (same totals; identical keys when the
+    budget is unbounded).
     """
     if not trees:
         raise SchemaMismatchError("merge_all needs at least one Flowtree")
     result = trees[0].copy()
-    for tree in trees[1:]:
-        result.merge(tree)
+    result.merge_many(trees[1:])
     return result
 
 

@@ -567,6 +567,11 @@ class ParallelShardedFlowtree:
         """Estimated popularity of ``key``, summed across shards."""
         return self._local_view().estimate(key)
 
+    def estimate_many(self, keys: Iterable[FlowKey]) -> Dict[FlowKey, Estimate]:
+        """Batch estimates over the local shard view (byte-identical to
+        per-key :meth:`estimate`; the view's indexes are primed once)."""
+        return self._local_view().estimate_many(keys)
+
     def merged_tree(self, config: Optional[FlowtreeConfig] = None) -> Flowtree:
         """Merge every shard into one Flowtree via the paper's merge operator."""
         return self._local_view().merged_tree(config)

@@ -176,6 +176,7 @@ def from_bytes(data: bytes) -> Flowtree:
         node.counters.packets += packets
         node.counters.bytes += byte_count
         node.counters.flows += flows
+        node.invalidate_subtree_cache()
     return tree
 
 
@@ -291,6 +292,7 @@ def from_json(text: str) -> Flowtree:
         node.counters.packets += int(entry.get("packets", 0))
         node.counters.bytes += int(entry.get("bytes", 0))
         node.counters.flows += int(entry.get("flows", 0))
+        node.invalidate_subtree_cache()
     del nodes
     return tree
 

@@ -40,6 +40,34 @@ from repro.features.schema import FlowSchema
 DEFAULT_NUM_SHARDS = 4
 
 
+def _combine_shard_estimates(key: FlowKey, parts: Sequence[Estimate]) -> Estimate:
+    """Reduce per-shard estimates of one key into the structure-level answer.
+
+    Shared by :meth:`ShardedFlowtree.estimate` and
+    :meth:`ShardedFlowtree.estimate_many` so the two can never disagree.
+    Estimate's contract: an exact answer carries no proportional
+    component.  The key may be kept in one shard while others still
+    attribute ancestor shares, so the combined answer is only exact when
+    those shares are all zero.
+    """
+    total = Counters()
+    descendants = Counters()
+    ancestor = Counters()
+    any_exact = False
+    for part in parts:
+        total.add(part.counters)
+        descendants.add(part.from_descendants)
+        ancestor.add(part.from_ancestor)
+        any_exact = any_exact or part.exact_node
+    return Estimate(
+        key=key,
+        counters=total,
+        exact_node=any_exact and ancestor.is_zero,
+        from_descendants=descendants,
+        from_ancestor=ancestor,
+    )
+
+
 def shard_index(key: FlowKey, num_shards: int) -> int:
     """Deterministic shard for ``key`` (stable across processes and runs).
 
@@ -276,27 +304,29 @@ class ShardedFlowtree:
         traffic.  For repeated or merge-sensitive queries, build a
         :meth:`merged_tree` once and query that.
         """
-        total = Counters()
-        descendants = Counters()
-        ancestor = Counters()
-        any_exact = False
-        for shard in self._shards:
-            part = shard.estimate(key)
-            total.add(part.counters)
-            descendants.add(part.from_descendants)
-            ancestor.add(part.from_ancestor)
-            any_exact = any_exact or part.exact_node
-        # Estimate's contract: an exact answer carries no proportional
-        # component.  The key may be kept in one shard while others still
-        # attribute ancestor shares, so the combined answer is only exact
-        # when those shares are all zero.
-        return Estimate(
-            key=key,
-            counters=total,
-            exact_node=any_exact and ancestor.is_zero,
-            from_descendants=descendants,
-            from_ancestor=ancestor,
+        return _combine_shard_estimates(
+            key, [shard.estimate(key) for shard in self._shards]
         )
+
+    def estimate_many(self, keys: Iterable[FlowKey]) -> Dict[FlowKey, Estimate]:
+        """Batch form of :meth:`estimate` (the preferred bulk API).
+
+        Fans one :func:`~repro.core.estimator.estimate_many` call out per
+        shard — each shard primes its subtree aggregates once for the
+        whole batch — and combines the per-shard answers with the exact
+        reduction :meth:`estimate` uses, so the result is byte-identical
+        to per-key :meth:`estimate` calls.
+        """
+        from repro.core.estimator import estimate_many as _estimate_many
+
+        keys = list(keys)
+        per_shard = [_estimate_many(shard, keys) for shard in self._shards]
+        return {
+            key: _combine_shard_estimates(
+                key, [answers[key] for answers in per_shard]
+            )
+            for key in keys
+        }
 
     def merged_tree(self, config: Optional[FlowtreeConfig] = None) -> Flowtree:
         """Merge every shard into one Flowtree via the paper's merge operator.
