@@ -31,8 +31,10 @@ from repro.analysis.report import (
 )
 from repro.analysis.storage import (
     StorageReport,
+    StoreFootprint,
     TransferReport,
     storage_report,
+    store_footprint,
     transfer_report,
 )
 
@@ -42,8 +44,10 @@ __all__ = [
     "error_percentiles",
     "Histogram2D",
     "StorageReport",
+    "StoreFootprint",
     "TransferReport",
     "storage_report",
+    "store_footprint",
     "transfer_report",
     "HeavyHitterReport",
     "heavy_hitter_report",

@@ -115,6 +115,59 @@ def storage_report(
 
 
 @dataclass(frozen=True)
+class StoreFootprint:
+    """What one collector storage backend actually holds (CLAIM-STORE).
+
+    ``payload_bytes`` is the sum of the serialized per-bin summaries — the
+    number the :class:`StorageReport` reduction claim is stated over —
+    while ``disk_bytes`` is the backend's real file footprint including
+    its index/journal overhead (0 for the in-memory backend).
+    """
+
+    backend: str
+    durable: bool
+    sites: int
+    bins: int
+    payload_bytes: int
+    disk_bytes: int
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Backend bytes beyond the raw payloads, relative to the payloads."""
+        if self.payload_bytes == 0:
+            return 0.0
+        return max(0.0, self.disk_bytes / self.payload_bytes - 1.0)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Report-table rows (used by the CLI ``store-info`` command)."""
+        return [
+            {"metric": "backend", "value": self.backend},
+            {"metric": "durable", "value": self.durable},
+            {"metric": "sites", "value": self.sites},
+            {"metric": "bins", "value": self.bins},
+            {"metric": "payload_bytes", "value": self.payload_bytes},
+            {"metric": "disk_bytes", "value": self.disk_bytes},
+        ]
+
+
+def store_footprint(store) -> StoreFootprint:
+    """Measure a :class:`~repro.distributed.stores.base.TimeSeriesStore`.
+
+    Flushes dirty bins first so the payload accounting reflects what a
+    restarted collector would actually find.
+    """
+    store.flush()
+    return StoreFootprint(
+        backend=store.backend,
+        durable=store.durable,
+        sites=len(store.sites()),
+        bins=store.bin_count(),
+        payload_bytes=store.payload_bytes(),
+        disk_bytes=store.disk_bytes(),
+    )
+
+
+@dataclass(frozen=True)
 class TransferReport:
     """Full-summary vs. diff-based transfer volume for a summary sequence."""
 

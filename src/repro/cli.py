@@ -10,7 +10,11 @@ Operator-facing entry points over the library:
 * ``flowtree query`` — estimate the popularity of a (generalized) flow key,
 * ``flowtree top`` — most popular aggregates of a summary,
 * ``flowtree merge`` / ``flowtree diff`` — combine summary files,
-* ``flowtree drilldown`` — automated investigation below a key.
+* ``flowtree drilldown`` — automated investigation below a key,
+* ``flowtree collect`` — replay a capture through a daemon into a
+  collector with a chosen storage backend (``--store memory|file|sqlite``),
+* ``flowtree store-info`` — reopen a durable collector store and report
+  its sites, bins and footprint.
 
 Every subcommand works on files so the CLI composes with shell pipelines
 the way operators expect; nothing here adds functionality that is not in
@@ -26,12 +30,17 @@ from typing import List, Optional, Sequence
 
 from repro.analysis.drilldown import investigate
 from repro.analysis.report import format_bytes, render_kv, render_table
+from repro.analysis.storage import store_footprint
 from repro.core.config import FlowtreeConfig
 from repro.core.flowtree import Flowtree
 from repro.core.key import FlowKey
 from repro.core.parallel import ParallelShardedFlowtree
 from repro.core.serialization import from_bytes, size_report, to_bytes
 from repro.core.sharded import ShardedFlowtree
+from repro.distributed.collector import Collector, CollectorConfig, stored_identity
+from repro.distributed.daemon import FlowtreeDaemon
+from repro.distributed.stores import STORE_KINDS, open_store
+from repro.distributed.transport import SimulatedTransport
 from repro.features.schema import schema_by_name
 from repro.flows.csv_io import read_csv, write_csv
 from repro.flows.pcap import read_pcap, write_pcap
@@ -110,6 +119,30 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("newer", type=Path)
     diff.add_argument("older", type=Path)
     diff.add_argument("--output", "-o", type=Path, required=True)
+
+    collect = subparsers.add_parser(
+        "collect",
+        help="replay a capture through a daemon into a collector storage backend",
+    )
+    collect.add_argument("--schema", default="4f")
+    collect.add_argument("--max-nodes", type=int, default=40_000)
+    collect.add_argument("--input-format", choices=("csv", "pcap"), default="csv")
+    collect.add_argument("--bin-width", type=float, default=60.0)
+    collect.add_argument("--site", default="site-0",
+                         help="site name the replayed records are attributed to")
+    collect.add_argument("--store", choices=sorted(STORE_KINDS), default="memory",
+                         help="collector storage backend")
+    collect.add_argument("--store-path", type=Path, default=None,
+                         help="directory (file store) or database file (sqlite store)")
+    collect.add_argument("--retain-bins", type=int, default=None,
+                         help="keep only the newest N bins per site")
+    collect.add_argument("input", type=Path)
+
+    sinfo = subparsers.add_parser(
+        "store-info", help="reopen a durable collector store and describe it"
+    )
+    sinfo.add_argument("--store", choices=("file", "sqlite"), required=True)
+    sinfo.add_argument("--store-path", type=Path, required=True)
 
     drill = subparsers.add_parser("drilldown", help="investigate traffic below a key")
     drill.add_argument("summary", type=Path)
@@ -264,6 +297,94 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_collect(args: argparse.Namespace) -> int:
+    schema = schema_by_name(args.schema)
+    storage = FlowtreeConfig(max_nodes=args.max_nodes)
+    config = CollectorConfig(
+        bin_width=args.bin_width,
+        storage=storage,
+        store=args.store,
+        store_path=str(args.store_path) if args.store_path is not None else None,
+        retain_bins=args.retain_bins,
+    )
+    transport = SimulatedTransport()
+    collector = Collector(schema, transport, config=config)
+    if collector.store.durable:
+        recovered = collector.reopen()
+        if recovered:
+            print(f"resumed store with existing sites: {', '.join(recovered)}")
+    daemon = FlowtreeDaemon(
+        args.site, schema, transport,
+        collector_name=collector.name, bin_width=args.bin_width, config=storage,
+    )
+    if args.input_format == "pcap":
+        records = read_pcap(args.input)
+    else:
+        records = read_csv(args.input)
+    consumed = daemon.consume_records(records)
+    daemon.flush()
+    collector.poll()
+    footprint = store_footprint(collector.store)
+    print(
+        render_kv(
+            f"Collected {args.input} into {args.store} store",
+            {
+                "records": consumed,
+                "sites": ", ".join(collector.sites),
+                "bins": {site: len(collector.bins_for(site)) for site in collector.sites},
+                "messages": collector.messages_processed,
+                "payload_size": format_bytes(footprint.payload_bytes),
+                "disk_size": format_bytes(footprint.disk_bytes),
+            },
+        )
+    )
+    collector.close()
+    return 0
+
+
+def _cmd_store_info(args: argparse.Namespace) -> int:
+    store = open_store(args.store, args.store_path)
+    bin_width, schema_name = stored_identity(store)
+    if bin_width is None or schema_name is None:
+        raise ValueError(f"{args.store_path} does not hold a collector store")
+    transport = SimulatedTransport()
+    collector = Collector(
+        schema_by_name(schema_name),
+        transport,
+        config=CollectorConfig(
+            bin_width=bin_width, store=args.store, store_path=str(args.store_path)
+        ),
+        store=store,
+    )
+    sites = collector.reopen()
+    footprint = store_footprint(store)
+    print(
+        render_kv(
+            f"Collector store {args.store_path}",
+            {
+                "backend": footprint.backend,
+                "schema": schema_name,
+                "bin_width": bin_width,
+                "sites": ", ".join(sites) if sites else "(none)",
+                "bins": footprint.bins,
+                "messages": collector.messages_processed,
+                "payload_size": format_bytes(footprint.payload_bytes),
+                "disk_size": format_bytes(footprint.disk_bytes),
+            },
+        )
+    )
+    for site in sites:
+        series = collector.site_series(site)
+        indices = series.bin_indices()
+        totals = series.total_by_bin()
+        print(
+            f"  {site}: bins {indices[0]}..{indices[-1]} "
+            f"({len(indices)} populated, {sum(totals.values())} packets)"
+        )
+    collector.close()
+    return 0
+
+
 def _cmd_drilldown(args: argparse.Namespace) -> int:
     tree = _load(args.summary)
     key = _parse_key(tree, args.key)
@@ -281,6 +402,8 @@ _COMMANDS = {
     "merge": _cmd_merge,
     "diff": _cmd_diff,
     "drilldown": _cmd_drilldown,
+    "collect": _cmd_collect,
+    "store-info": _cmd_store_info,
 }
 
 

@@ -130,6 +130,33 @@ def to_bytes(tree: Flowtree, compress: bool = True) -> bytes:
     return header + body
 
 
+def summary_header(data: bytes) -> Dict[str, int]:
+    """Parse and validate a binary summary's header without decoding the body.
+
+    Returns ``{"version", "compressed", "body_bytes"}``.  The storage
+    backends use this to sanity-check payloads cheaply (a stored blob that
+    fails here was torn or corrupted) and the store tooling uses it to
+    report per-bin sizes without materializing trees.
+    """
+    if len(data) < len(MAGIC) + 6 or data[: len(MAGIC)] != MAGIC:
+        raise SerializationError("not a Flowtree binary summary (bad magic)")
+    version, flags, body_length = struct.unpack(
+        ">BBI", data[len(MAGIC): len(MAGIC) + 6]
+    )
+    if version != FORMAT_VERSION:
+        raise SerializationError(f"unsupported Flowtree format version {version}")
+    if len(data) - len(MAGIC) - 6 != body_length:
+        raise SerializationError(
+            f"truncated summary: header says {body_length} bytes, "
+            f"got {len(data) - len(MAGIC) - 6}"
+        )
+    return {
+        "version": version,
+        "compressed": flags & 1,
+        "body_bytes": body_length,
+    }
+
+
 def from_bytes(data: bytes) -> Flowtree:
     """Decode a Flowtree produced by :func:`to_bytes`."""
     if len(data) < len(MAGIC) + 6 or data[: len(MAGIC)] != MAGIC:

@@ -8,7 +8,7 @@ queries, drill-down and alarming on significant changes.
 """
 
 from repro.distributed.alerting import AlertManager, AlertPolicy
-from repro.distributed.collector import Collector
+from repro.distributed.collector import Collector, CollectorConfig
 from repro.distributed.daemon import DaemonStats, FlowtreeDaemon
 from repro.distributed.diffsync import (
     DiffSyncDecoder,
@@ -25,6 +25,13 @@ from repro.distributed.messages import (
 )
 from repro.distributed.query_engine import DistributedQueryEngine
 from repro.distributed.site import Deployment, MonitoringSite
+from repro.distributed.stores import (
+    MemoryStore,
+    SegmentFileStore,
+    SQLiteStore,
+    TimeSeriesStore,
+    open_store,
+)
 from repro.distributed.timeseries import FlowtreeTimeSeries
 from repro.distributed.transport import SimulatedTransport
 
@@ -32,6 +39,12 @@ __all__ = [
     "FlowtreeDaemon",
     "DaemonStats",
     "Collector",
+    "CollectorConfig",
+    "TimeSeriesStore",
+    "MemoryStore",
+    "SegmentFileStore",
+    "SQLiteStore",
+    "open_store",
     "DistributedQueryEngine",
     "Deployment",
     "MonitoringSite",

@@ -21,6 +21,7 @@ merging the shards reproduces the unsharded tree exactly).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Union
 
@@ -99,6 +100,11 @@ class FlowtreeDaemon:
         self._origin: Optional[float] = None
         self._records_in_bin = 0
         self._closed = False
+        # Export sequence: a fresh random run nonce in the high 32 bits
+        # plus a per-run counter.  Replaying this run's messages hits the
+        # collector's dedup guard; a restarted daemon (new nonce) does not
+        # collide with guards persisted from the previous run.
+        self._sequence = int.from_bytes(os.urandom(4), "big") << 32
         self._stats = DaemonStats()
         transport.register(site)
         transport.register(collector_name)
@@ -328,7 +334,9 @@ class FlowtreeDaemon:
             kind=encoded.kind,
             payload=encoded.payload,
             record_count=record_count,
+            sequence=self._sequence,
         )
+        self._sequence += 1
         self._transport.send(self._site, self._collector, message)
         self._stats.bins_exported += 1
         self._stats.exported_bytes += len(encoded.payload)

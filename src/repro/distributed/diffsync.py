@@ -105,7 +105,12 @@ class DiffSyncDecoder:
         """
         payload_tree = from_bytes(message.payload)
         if message.kind == SUMMARY_FULL:
+            # The payload tree is freshly deserialized and owned here, so
+            # it doubles as the baseline without a defensive copy; a later
+            # message for the same site replaces the baseline reference in
+            # this method before any caller-side merge could mutate it.
             reconstructed = payload_tree
+            self._previous[message.site] = reconstructed
         elif message.kind == SUMMARY_DIFF:
             baseline = self._previous.get(message.site)
             if baseline is None:
@@ -114,14 +119,26 @@ class DiffSyncDecoder:
                 )
             reconstructed = baseline.merged(payload_tree)
             reconstructed.prune_zero_nodes()
+            self._previous[message.site] = reconstructed.copy()
         else:
             raise DaemonError(f"unknown summary kind {message.kind!r}")
-        self._previous[message.site] = reconstructed.copy()
         return reconstructed
 
     def baseline(self, site: str) -> Optional[Flowtree]:
         """The last reconstructed summary for a site (``None`` if none yet)."""
         return self._previous.get(site)
+
+    def set_baseline(self, site: str, tree: Optional[Flowtree]) -> None:
+        """Install (or, with ``None``, clear) a site's baseline.
+
+        Used by collector restart recovery and by the ingest path's
+        rollback when a durable commit fails after the decode advanced
+        the baseline.
+        """
+        if tree is None:
+            self._previous.pop(site, None)
+        else:
+            self._previous[site] = tree
 
 
 def transfer_comparison(trees) -> Tuple[int, int]:

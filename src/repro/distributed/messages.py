@@ -27,6 +27,14 @@ class SummaryMessage:
     kind: str
     payload: bytes
     record_count: int = 0
+    #: Per-site export counter assigned by the daemon, with a random
+    #: per-daemon-run nonce in the high bits.  The collector uses
+    #: ``(site, bin_index, sequence)`` as its idempotency key, so a re-sent
+    #: message (daemon retry, crash replay) is dropped instead of merged a
+    #: second time, while a *restarted* daemon's fresh exports carry a new
+    #: nonce and are never mistaken for replays of the previous run.
+    #: ``-1`` (hand-built messages) opts out of dedup.
+    sequence: int = -1
 
     @property
     def payload_bytes(self) -> int:

@@ -15,7 +15,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.core.config import FlowtreeConfig
 from repro.core.errors import DaemonError
 from repro.distributed.alerting import AlertManager, AlertPolicy
-from repro.distributed.collector import Collector
+from repro.distributed.collector import Collector, CollectorConfig
 from repro.distributed.daemon import DEFAULT_BATCH_SIZE, FlowtreeDaemon
 from repro.distributed.messages import Alert
 from repro.distributed.query_engine import DistributedQueryEngine
@@ -58,16 +58,26 @@ class Deployment:
         use_diffs: bool = True,
         alert_policy: Optional[AlertPolicy] = None,
         daemon_workers: int = 0,
+        collector_config: Optional[CollectorConfig] = None,
     ) -> None:
         """``daemon_workers > 0`` gives every site's daemon that many shard
         worker processes (pipelined bin export); ``0`` keeps the daemons
         single-process.  Worker deployments should be :meth:`close`\\ d (or
-        used as a context manager) so the processes are reaped."""
+        used as a context manager) so the processes are reaped.
+        ``collector_config`` selects the collector's storage backend and
+        retention (its ``bin_width`` must match the deployment's)."""
         if not site_names:
             raise DaemonError("a deployment needs at least one site")
+        if collector_config is not None and collector_config.bin_width != bin_width:
+            raise DaemonError(
+                f"collector_config.bin_width {collector_config.bin_width} does not "
+                f"match the deployment bin_width {bin_width}"
+            )
         self._schema = schema
         self._transport = SimulatedTransport()
-        self._collector = Collector(schema, self._transport, bin_width=bin_width)
+        self._collector = Collector(
+            schema, self._transport, bin_width=bin_width, config=collector_config
+        )
         self._sites: Dict[str, MonitoringSite] = {}
         for name in site_names:
             daemon = FlowtreeDaemon(
@@ -163,6 +173,12 @@ class Deployment:
             except Exception as exc:
                 if first_error is None:
                     first_error = exc
+        try:
+            self._collector.poll()
+            self._collector.close()
+        except Exception as exc:
+            if first_error is None:
+                first_error = exc
         if first_error is not None:
             raise first_error
 

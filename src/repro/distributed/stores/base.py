@@ -1,0 +1,380 @@
+"""Storage interface for collector time series.
+
+A :class:`TimeSeriesStore` persists one serialized Flowtree per
+``(site, bin_index)`` plus a small metadata key/value space (bin origins,
+diff-decoder baselines, dedup guards).  Three backends implement it:
+
+* :class:`~repro.distributed.stores.memory.MemoryStore` — live trees in
+  process memory (the pre-store collector behavior, and the default),
+* :class:`~repro.distributed.stores.segment.SegmentFileStore` — append-only
+  segment files plus an atomically-replaced index,
+* :class:`~repro.distributed.stores.sqlite.SQLiteStore` — one row per bin
+  in a WAL-mode SQLite database.
+
+The durable backends share :class:`CachedTreeStore`: an LRU *hot-bin cache*
+of deserialized trees, so repeated queries against the same bins never
+re-parse, and reads of untouched bins never materialize at all (range
+merges only deserialize the bins the range selects).  Mutating a cached
+tree in place is supported through :meth:`TimeSeriesStore.mark_dirty` +
+:meth:`TimeSeriesStore.flush`; evicting a dirty bin persists it first, so
+the cache never loses writes.
+"""
+
+from __future__ import annotations
+
+import struct
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.errors import SerializationError
+from repro.core.flowtree import Flowtree
+from repro.core.serialization import (
+    decode_varint,
+    decode_zigzag,
+    encode_varint,
+    encode_zigzag,
+    from_bytes,
+    to_bytes,
+)
+
+DEFAULT_CACHE_BINS = 64
+
+#: Valid ``--store`` / :attr:`CollectorConfig.store` values.
+STORE_KINDS = ("memory", "file", "sqlite")
+
+
+# -- metadata value codecs -------------------------------------------------------
+#
+# Store metadata values are raw bytes; these helpers give the collector and
+# the time series fixed encodings for the few typed values they persist.
+
+
+def pack_float(value: float) -> bytes:
+    """Big-endian IEEE 754 double (used for bin origins)."""
+    return struct.pack(">d", value)
+
+
+def unpack_float(data: bytes) -> float:
+    """Inverse of :func:`pack_float`."""
+    if len(data) != 8:
+        raise SerializationError(f"expected an 8-byte float value, got {len(data)} bytes")
+    return struct.unpack(">d", data)[0]
+
+
+def pack_ints(values: Iterable[int]) -> bytes:
+    """Signed varint sequence (used for counters and dedup guards)."""
+    out = bytearray()
+    items = list(values)
+    encode_varint(len(items), out)
+    for value in items:
+        encode_zigzag(value, out)
+    return bytes(out)
+
+
+def unpack_ints(data: bytes) -> List[int]:
+    """Inverse of :func:`pack_ints`."""
+    count, offset = decode_varint(data, 0)
+    values = []
+    for _ in range(count):
+        value, offset = decode_zigzag(data, offset)
+        values.append(value)
+    return values
+
+
+def pack_int_pairs(pairs: Iterable[Tuple[int, int]]) -> bytes:
+    """Flattened :func:`pack_ints` of ``(a, b)`` pairs (dedup guard sets)."""
+    flat: List[int] = []
+    for a, b in sorted(pairs):
+        flat.extend((a, b))
+    return pack_ints(flat)
+
+
+def unpack_int_pairs(data: bytes) -> Set[Tuple[int, int]]:
+    """Inverse of :func:`pack_int_pairs`."""
+    flat = unpack_ints(data)
+    if len(flat) % 2:
+        raise SerializationError("odd number of values in an int-pair sequence")
+    return {(flat[i], flat[i + 1]) for i in range(0, len(flat), 2)}
+
+
+@dataclass
+class StoreStats:
+    """Operational counters of one store (cache behavior, IO volume)."""
+
+    puts: int = 0
+    loads: int = 0  # deserializations from the backend
+    cache_hits: int = 0
+    evictions: int = 0
+    flushed_dirty: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict copy for reporting."""
+        return {
+            "puts": self.puts,
+            "loads": self.loads,
+            "cache_hits": self.cache_hits,
+            "evictions": self.evictions,
+            "flushed_dirty": self.flushed_dirty,
+        }
+
+
+class TimeSeriesStore(ABC):
+    """Persistence interface behind :class:`~repro.distributed.timeseries.FlowtreeTimeSeries`.
+
+    Bin payloads are the compact binary summary format of
+    :func:`repro.core.serialization.to_bytes`; metadata values are opaque
+    bytes.  ``put`` is the durable commit point: the bin payload and any
+    metadata updates passed alongside it become visible atomically, so a
+    crash between two ``put`` calls can never expose a half-applied
+    message (the property the collector's restart recovery relies on).
+    """
+
+    #: Short backend identifier (``memory`` / ``file`` / ``sqlite``).
+    backend: str = "abstract"
+    #: Whether the backend survives process restarts.
+    durable: bool = False
+
+    def __init__(self) -> None:
+        self.stats = StoreStats()
+
+    # -- bins -----------------------------------------------------------------
+
+    @abstractmethod
+    def put(
+        self,
+        site: str,
+        bin_index: int,
+        tree: Flowtree,
+        meta: Optional[Dict[str, bytes]] = None,
+    ) -> None:
+        """Install (or replace) one bin's tree, atomically with ``meta`` updates."""
+
+    @abstractmethod
+    def stage(self, site: str, bin_index: int, tree: Flowtree) -> None:
+        """Register a new live tree without a backend write (persisted by :meth:`flush`)."""
+
+    @abstractmethod
+    def get(self, site: str, bin_index: int) -> Optional[Flowtree]:
+        """The live tree of one bin (lazily deserialized), or ``None``."""
+
+    @abstractmethod
+    def get_bytes(self, site: str, bin_index: int) -> Optional[bytes]:
+        """The serialized form of one bin, or ``None``."""
+
+    @abstractmethod
+    def mark_dirty(self, site: str, bin_index: int) -> None:
+        """Record that a tree returned by :meth:`get` was mutated in place."""
+
+    @abstractmethod
+    def bin_indices(self, site: str) -> List[int]:
+        """Sorted indices of the site's populated bins."""
+
+    @abstractmethod
+    def sites(self) -> List[str]:
+        """Sorted names of all sites with at least one bin."""
+
+    @abstractmethod
+    def delete_before(self, site: str, bin_index: int) -> int:
+        """Drop the site's bins with index below ``bin_index``; returns bins removed."""
+
+    # -- metadata --------------------------------------------------------------
+
+    @abstractmethod
+    def set_meta(self, key: str, value: Optional[bytes]) -> None:
+        """Set (or, with ``None``, delete) one metadata value."""
+
+    @abstractmethod
+    def get_meta(self, key: str) -> Optional[bytes]:
+        """One metadata value, or ``None``."""
+
+    def set_meta_many(self, updates: Dict[str, Optional[bytes]]) -> None:
+        """Apply several metadata updates (backends override to commit once)."""
+        for key, value in updates.items():
+            self.set_meta(key, value)
+
+    # -- lifecycle / accounting ---------------------------------------------------
+
+    @abstractmethod
+    def flush(self) -> None:
+        """Persist every dirty bin (no-op for write-through-only usage)."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Flush and release backend resources (idempotent)."""
+
+    @abstractmethod
+    def payload_bytes(self) -> int:
+        """Total serialized bin payload bytes the backend holds."""
+
+    @abstractmethod
+    def disk_bytes(self) -> int:
+        """Actual on-disk footprint in bytes (0 for in-memory backends)."""
+
+    def bin_count(self) -> int:
+        """Total populated bins across all sites."""
+        return sum(len(self.bin_indices(site)) for site in self.sites())
+
+    def __enter__(self) -> "TimeSeriesStore":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+
+@dataclass
+class _CacheEntry:
+    tree: Flowtree
+    dirty: bool = field(default=False)
+
+
+class CachedTreeStore(TimeSeriesStore):
+    """Shared LRU hot-bin cache + lazy deserialization for durable backends.
+
+    Subclasses implement the raw payload/metadata primitives
+    (``_write_payload`` & friends); this class decides *when* payloads are
+    (de)serialized: reads materialize on first touch and stay hot, writes
+    go through immediately on :meth:`put` and lazily (``stage`` +
+    ``mark_dirty`` + :meth:`flush`) for in-place record ingestion.
+    """
+
+    durable = True
+
+    def __init__(self, cache_bins: int = DEFAULT_CACHE_BINS) -> None:
+        super().__init__()
+        if cache_bins < 1:
+            raise ValueError(f"cache_bins must be positive, got {cache_bins}")
+        self._cache_bins = cache_bins
+        self._cache: "OrderedDict[Tuple[str, int], _CacheEntry]" = OrderedDict()
+        self._closed = False
+
+    # -- backend primitives (subclass responsibility) ------------------------------
+
+    @abstractmethod
+    def _write_payload(
+        self, site: str, bin_index: int, payload: bytes, meta: Dict[str, Optional[bytes]]
+    ) -> None:
+        """Durably commit one bin payload plus metadata updates, atomically."""
+
+    @abstractmethod
+    def _read_payload(self, site: str, bin_index: int) -> Optional[bytes]:
+        """Read one bin payload back, or ``None``."""
+
+    @abstractmethod
+    def _delete_bins(self, site: str, bin_index: int) -> int:
+        """Drop the backend's record of bins below ``bin_index``."""
+
+    @abstractmethod
+    def _backend_bin_indices(self, site: str) -> List[int]:
+        """Sorted bin indices the backend has committed for a site."""
+
+    @abstractmethod
+    def _backend_sites(self) -> List[str]:
+        """Sorted site names the backend has committed bins for."""
+
+    @abstractmethod
+    def _close_backend(self) -> None:
+        """Release backend resources."""
+
+    # -- TimeSeriesStore implementation ---------------------------------------------
+
+    def put(
+        self,
+        site: str,
+        bin_index: int,
+        tree: Flowtree,
+        meta: Optional[Dict[str, bytes]] = None,
+    ) -> None:
+        payload = to_bytes(tree)
+        updates: Dict[str, Optional[bytes]] = {
+            key: value for key, value in (meta or {}).items()
+        }
+        self._write_payload(site, bin_index, payload, updates)
+        self._cache_insert(site, bin_index, tree, dirty=False)
+        self.stats.puts += 1
+
+    def stage(self, site: str, bin_index: int, tree: Flowtree) -> None:
+        self._cache_insert(site, bin_index, tree, dirty=True)
+
+    def get(self, site: str, bin_index: int) -> Optional[Flowtree]:
+        entry = self._cache.get((site, bin_index))
+        if entry is not None:
+            self._cache.move_to_end((site, bin_index))
+            self.stats.cache_hits += 1
+            return entry.tree
+        payload = self._read_payload(site, bin_index)
+        if payload is None:
+            return None
+        tree = from_bytes(payload)
+        self.stats.loads += 1
+        self._cache_insert(site, bin_index, tree, dirty=False)
+        return tree
+
+    def get_bytes(self, site: str, bin_index: int) -> Optional[bytes]:
+        entry = self._cache.get((site, bin_index))
+        if entry is not None and entry.dirty:
+            self._flush_entry(site, bin_index, entry)
+        return self._read_payload(site, bin_index)
+
+    def mark_dirty(self, site: str, bin_index: int) -> None:
+        entry = self._cache.get((site, bin_index))
+        if entry is None:
+            raise KeyError(f"bin ({site!r}, {bin_index}) is not resident; cannot mark dirty")
+        entry.dirty = True
+        self._cache.move_to_end((site, bin_index))
+
+    def bin_indices(self, site: str) -> List[int]:
+        # Staged (not yet flushed) bins are visible alongside committed ones.
+        indices = set(self._backend_bin_indices(site))
+        indices.update(index for cached_site, index in self._cache if cached_site == site)
+        return sorted(indices)
+
+    def sites(self) -> List[str]:
+        names = set(self._backend_sites())
+        names.update(site for site, _ in self._cache)
+        return sorted(names)
+
+    def delete_before(self, site: str, bin_index: int) -> int:
+        staged_only = {
+            k for k in self._cache
+            if k[0] == site and k[1] < bin_index
+        }
+        committed = set(self._backend_bin_indices(site))
+        for key in staged_only:
+            del self._cache[key]
+        removed = self._delete_bins(site, bin_index)
+        # Bins that existed only in the cache still count as removed.
+        removed += len([k for k in staged_only if k[1] not in committed])
+        return removed
+
+    def flush(self) -> None:
+        for (site, index), entry in list(self._cache.items()):
+            if entry.dirty:
+                self._flush_entry(site, index, entry)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.flush()
+        self._closed = True
+        self._cache.clear()
+        self._close_backend()
+
+    # -- cache internals --------------------------------------------------------------
+
+    def _flush_entry(self, site: str, bin_index: int, entry: _CacheEntry) -> None:
+        self._write_payload(site, bin_index, to_bytes(entry.tree), {})
+        entry.dirty = False
+        self.stats.flushed_dirty += 1
+
+    def _cache_insert(self, site: str, bin_index: int, tree: Flowtree, dirty: bool) -> None:
+        key = (site, bin_index)
+        self._cache[key] = _CacheEntry(tree=tree, dirty=dirty)
+        self._cache.move_to_end(key)
+        while len(self._cache) > self._cache_bins:
+            old_key, old_entry = next(iter(self._cache.items()))
+            if old_entry.dirty:
+                self._flush_entry(old_key[0], old_key[1], old_entry)
+            del self._cache[old_key]
+            self.stats.evictions += 1

@@ -1,0 +1,89 @@
+"""In-process time-series store (the pre-store collector behavior).
+
+Trees live as plain Python objects in nested dicts — no serialization on
+the ingest path, no durability.  ``get`` hands back the same live object
+``put`` received, so callers that mutate bins in place (the record-ingest
+path of :class:`~repro.distributed.timeseries.FlowtreeTimeSeries`) behave
+exactly like the pre-store in-memory collector did.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.flowtree import Flowtree
+from repro.core.serialization import to_bytes
+from repro.distributed.stores.base import TimeSeriesStore
+
+
+class MemoryStore(TimeSeriesStore):
+    """Keeps every bin tree in process memory (default backend)."""
+
+    backend = "memory"
+    durable = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._trees: Dict[str, Dict[int, Flowtree]] = {}
+        self._meta: Dict[str, bytes] = {}
+
+    def put(
+        self,
+        site: str,
+        bin_index: int,
+        tree: Flowtree,
+        meta: Optional[Dict[str, bytes]] = None,
+    ) -> None:
+        self._trees.setdefault(site, {})[bin_index] = tree
+        for key, value in (meta or {}).items():
+            self.set_meta(key, value)
+        self.stats.puts += 1
+
+    def stage(self, site: str, bin_index: int, tree: Flowtree) -> None:
+        self._trees.setdefault(site, {})[bin_index] = tree
+
+    def get(self, site: str, bin_index: int) -> Optional[Flowtree]:
+        return self._trees.get(site, {}).get(bin_index)
+
+    def get_bytes(self, site: str, bin_index: int) -> Optional[bytes]:
+        tree = self.get(site, bin_index)
+        return None if tree is None else to_bytes(tree)
+
+    def mark_dirty(self, site: str, bin_index: int) -> None:
+        pass  # live objects: mutation is already visible
+
+    def bin_indices(self, site: str) -> List[int]:
+        return sorted(self._trees.get(site, {}))
+
+    def sites(self) -> List[str]:
+        return sorted(site for site, bins in self._trees.items() if bins)
+
+    def delete_before(self, site: str, bin_index: int) -> int:
+        bins = self._trees.get(site, {})
+        old = [index for index in bins if index < bin_index]
+        for index in old:
+            del bins[index]
+        return len(old)
+
+    def set_meta(self, key: str, value: Optional[bytes]) -> None:
+        if value is None:
+            self._meta.pop(key, None)
+        else:
+            self._meta[key] = value
+
+    def get_meta(self, key: str) -> Optional[bytes]:
+        return self._meta.get(key)
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def payload_bytes(self) -> int:
+        return sum(
+            len(to_bytes(tree)) for bins in self._trees.values() for tree in bins.values()
+        )
+
+    def disk_bytes(self) -> int:
+        return 0

@@ -1,0 +1,255 @@
+"""Append-only segment-file time-series store.
+
+Layout under the store directory::
+
+    index.json              # atomically replaced on every commit
+    segments/seg-00000001.dat
+    segments/seg-00000002.dat
+    ...
+
+Bin payloads are appended to the active segment as framed records
+(``FTSG`` magic, site, bin index, payload, CRC-32); the index file maps
+``(site, bin)`` to the *latest* payload's ``(segment, offset, length,
+crc)`` and carries the metadata key/value space.  Commit protocol:
+
+1. append the record to the active segment and flush it,
+2. write the updated index to ``index.json.tmp``,
+3. ``os.replace`` it over ``index.json``.
+
+The rename is the commit point.  A crash at any earlier step leaves the
+old index in place, so the half-written record is simply invisible —
+stale bytes at a segment tail are never read because reads go through
+indexed offsets only, and every payload is CRC-checked on read.  Replaced
+and evicted bins leave dead bytes behind in their segments (append-only
+stores reclaim them by segment compaction, which this reproduction does
+not need at its scale); the index is always the source of truth.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import BinaryIO, Dict, List, Optional, Tuple
+
+from repro.core.errors import SerializationError
+from repro.core.serialization import encode_varint, encode_zigzag
+from repro.distributed.stores.base import DEFAULT_CACHE_BINS, CachedTreeStore
+
+RECORD_MAGIC = b"FTSG"
+INDEX_FORMAT = "flowtree-segment-index"
+INDEX_VERSION = 1
+DEFAULT_SEGMENT_MAX_BYTES = 4 * 1024 * 1024
+
+#: ``(segment number, payload offset, payload length, payload crc32)``
+_Entry = Tuple[int, int, int, int]
+
+
+class SegmentFileStore(CachedTreeStore):
+    """Durable store over append-only segments plus an atomic index file."""
+
+    backend = "file"
+
+    def __init__(
+        self,
+        path: os.PathLike,
+        cache_bins: int = DEFAULT_CACHE_BINS,
+        segment_max_bytes: int = DEFAULT_SEGMENT_MAX_BYTES,
+        fsync: bool = False,
+    ) -> None:
+        """``fsync=True`` additionally fsyncs segment + index on every
+        commit (OS-crash durability); the default flushes user-space
+        buffers per commit and fsyncs on :meth:`flush`/:meth:`close`,
+        which is what process-crash recovery needs."""
+        super().__init__(cache_bins=cache_bins)
+        if segment_max_bytes < 1:
+            raise ValueError(f"segment_max_bytes must be positive, got {segment_max_bytes}")
+        self._path = Path(path)
+        self._segment_max_bytes = segment_max_bytes
+        self._fsync = fsync
+        self._segments_dir = self._path / "segments"
+        self._segments_dir.mkdir(parents=True, exist_ok=True)
+        self._bins: Dict[str, Dict[int, _Entry]] = {}
+        self._meta: Dict[str, bytes] = {}
+        self._active_segment = 1
+        self._writer: Optional[BinaryIO] = None
+        self._readers: Dict[int, BinaryIO] = {}
+        self._load_index()
+
+    # -- index ------------------------------------------------------------------
+
+    @property
+    def _index_path(self) -> Path:
+        return self._path / "index.json"
+
+    def _segment_path(self, number: int) -> Path:
+        return self._segments_dir / f"seg-{number:08d}.dat"
+
+    def _load_index(self) -> None:
+        if not self._index_path.exists():
+            return
+        try:
+            document = json.loads(self._index_path.read_text())
+        except (OSError, ValueError) as exc:
+            raise SerializationError(f"unreadable segment-store index: {exc}") from exc
+        if document.get("format") != INDEX_FORMAT:
+            raise SerializationError(f"not a segment-store index: {self._index_path}")
+        if document.get("version") != INDEX_VERSION:
+            raise SerializationError(
+                f"unsupported segment-store index version {document.get('version')}"
+            )
+        for site, bins in document.get("bins", {}).items():
+            self._bins[site] = {
+                int(index): (int(entry[0]), int(entry[1]), int(entry[2]), int(entry[3]))
+                for index, entry in bins.items()
+            }
+        self._meta = {
+            key: base64.b64decode(value)
+            for key, value in document.get("meta", {}).items()
+        }
+        self._active_segment = int(document.get("active_segment", 1))
+
+    def _commit_index(self) -> None:
+        document = {
+            "format": INDEX_FORMAT,
+            "version": INDEX_VERSION,
+            "active_segment": self._active_segment,
+            "bins": {
+                site: {str(index): list(entry) for index, entry in bins.items()}
+                for site, bins in self._bins.items()
+            },
+            "meta": {
+                key: base64.b64encode(value).decode("ascii")
+                for key, value in self._meta.items()
+            },
+        }
+        tmp_path = self._path / "index.json.tmp"
+        with open(tmp_path, "w") as handle:
+            json.dump(document, handle)
+            handle.flush()
+            if self._fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_path, self._index_path)
+
+    # -- segment writing -----------------------------------------------------------
+
+    def _open_writer(self) -> BinaryIO:
+        if self._writer is None:
+            self._writer = open(self._segment_path(self._active_segment), "ab")
+            self._writer.seek(0, os.SEEK_END)
+        return self._writer
+
+    def _roll_if_needed(self) -> None:
+        writer = self._open_writer()
+        if writer.tell() >= self._segment_max_bytes:
+            writer.close()
+            self._writer = None
+            self._active_segment += 1
+            self._open_writer()
+
+    def _write_payload(
+        self, site: str, bin_index: int, payload: bytes, meta: Dict[str, Optional[bytes]]
+    ) -> None:
+        self._roll_if_needed()
+        writer = self._open_writer()
+        site_raw = site.encode("utf-8")
+        header = bytearray(RECORD_MAGIC)
+        encode_varint(len(site_raw), header)
+        header.extend(site_raw)
+        encode_zigzag(bin_index, header)
+        encode_varint(len(payload), header)
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        record_start = writer.tell()
+        payload_offset = record_start + len(header)
+        writer.write(bytes(header) + payload + crc.to_bytes(4, "big"))
+        writer.flush()
+        if self._fsync:
+            os.fsync(writer.fileno())
+        self._bins.setdefault(site, {})[bin_index] = (
+            self._active_segment, payload_offset, len(payload), crc,
+        )
+        self._apply_meta(meta)
+        self._commit_index()
+
+    def _read_payload(self, site: str, bin_index: int) -> Optional[bytes]:
+        entry = self._bins.get(site, {}).get(bin_index)
+        if entry is None:
+            return None
+        segment, offset, length, crc = entry
+        reader = self._readers.get(segment)
+        if reader is None:
+            reader = open(self._segment_path(segment), "rb")
+            self._readers[segment] = reader
+        reader.seek(offset)
+        payload = reader.read(length)
+        if len(payload) != length or (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+            raise SerializationError(
+                f"corrupt segment record for bin ({site!r}, {bin_index}) "
+                f"in segment {segment}"
+            )
+        return payload
+
+    def _delete_bins(self, site: str, bin_index: int) -> int:
+        bins = self._bins.get(site, {})
+        old = [index for index in bins if index < bin_index]
+        for index in old:
+            del bins[index]
+        if not bins:
+            self._bins.pop(site, None)
+        if old:
+            self._commit_index()
+        return len(old)
+
+    def _close_backend(self) -> None:
+        if self._writer is not None:
+            self._writer.flush()
+            os.fsync(self._writer.fileno())
+            self._writer.close()
+            self._writer = None
+        for reader in self._readers.values():
+            reader.close()
+        self._readers.clear()
+
+    # -- metadata ---------------------------------------------------------------
+
+    def _apply_meta(self, meta: Dict[str, Optional[bytes]]) -> None:
+        for key, value in meta.items():
+            if value is None:
+                self._meta.pop(key, None)
+            else:
+                self._meta[key] = value
+
+    def set_meta(self, key: str, value: Optional[bytes]) -> None:
+        self._apply_meta({key: value})
+        self._commit_index()
+
+    def set_meta_many(self, updates: Dict[str, Optional[bytes]]) -> None:
+        self._apply_meta(updates)
+        self._commit_index()
+
+    def get_meta(self, key: str) -> Optional[bytes]:
+        return self._meta.get(key)
+
+    # -- enumeration / accounting -----------------------------------------------------
+
+    def _backend_bin_indices(self, site: str) -> List[int]:
+        return sorted(self._bins.get(site, {}))
+
+    def _backend_sites(self) -> List[str]:
+        return sorted(site for site, bins in self._bins.items() if bins)
+
+    def payload_bytes(self) -> int:
+        return sum(
+            entry[2] for bins in self._bins.values() for entry in bins.values()
+        )
+
+    def disk_bytes(self) -> int:
+        self.flush()
+        total = 0
+        for path in self._segments_dir.glob("seg-*.dat"):
+            total += path.stat().st_size
+        if self._index_path.exists():
+            total += self._index_path.stat().st_size
+        return total
