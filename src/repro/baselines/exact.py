@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.baselines.base import StreamSummary
+from repro.core.errors import KeyError_
 from repro.core.key import FlowKey
 from repro.core.node import Counters
 from repro.features.schema import FlowSchema
@@ -92,7 +93,9 @@ class ExactAggregator(StreamSummary):
             for flow_key, counters in self._counters.items():
                 try:
                     projected = flow_key.generalize_to_vector(vector)
-                except Exception:
+                except KeyError_:
+                    # Arity mismatch: this flow cannot generalize to the
+                    # requested vector, so it contributes nothing.
                     continue
                 if projected in wanted:
                     result[projected] += counters.weight(metric)

@@ -14,7 +14,10 @@ Operator-facing entry points over the library:
 * ``flowtree collect`` — replay a capture through a daemon into a
   collector with a chosen storage backend (``--store memory|file|sqlite``),
 * ``flowtree store-info`` — reopen a durable collector store and report
-  its sites, bins and footprint.
+  its sites, bins and footprint,
+* ``flowtree lint`` — run flowlint, the AST-based invariant linter that
+  enforces the repo's cross-module contracts (same engine as
+  ``python -m repro.devtools.lint``).
 
 Every subcommand works on files so the CLI composes with shell pipelines
 the way operators expect; nothing here adds functionality that is not in
@@ -37,6 +40,7 @@ from repro.core.key import FlowKey
 from repro.core.parallel import ParallelShardedFlowtree
 from repro.core.serialization import from_bytes, size_report, to_bytes
 from repro.core.sharded import ShardedFlowtree
+from repro.devtools.lint.engine import main as _flowlint_main
 from repro.distributed.collector import Collector, CollectorConfig, stored_identity
 from repro.distributed.daemon import FlowtreeDaemon
 from repro.distributed.stores import STORE_KINDS, open_store
@@ -143,6 +147,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sinfo.add_argument("--store", choices=("file", "sqlite"), required=True)
     sinfo.add_argument("--store-path", type=Path, required=True)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run flowlint, the AST invariant linter, over source trees",
+        add_help=False,
+    )
+    lint.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to flowlint (see `flowtree lint --help`)",
+    )
 
     drill = subparsers.add_parser("drilldown", help="investigate traffic below a key")
     drill.add_argument("summary", type=Path)
@@ -385,6 +400,10 @@ def _cmd_store_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    return _flowlint_main(args.lint_args, prog="flowtree lint")
+
+
 def _cmd_drilldown(args: argparse.Namespace) -> int:
     tree = _load(args.summary)
     key = _parse_key(tree, args.key)
@@ -404,13 +423,19 @@ _COMMANDS = {
     "drilldown": _cmd_drilldown,
     "collect": _cmd_collect,
     "store-info": _cmd_store_info,
+    "lint": _cmd_lint,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``flowtree`` console script."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments[:1] == ["lint"]:
+        # Forwarded verbatim (argparse.REMAINDER would swallow leading
+        # options like --list-rules before the subparser sees them).
+        return _flowlint_main(arguments[1:], prog="flowtree lint")
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     handler = _COMMANDS[args.command]
     try:
         return handler(args)

@@ -73,7 +73,7 @@ class Compactor:
                 break
             groups: Dict[FlowKey, List[int]] = defaultdict(list)
             progressed = False
-            for index in remaining:
+            for index in sorted(remaining):
                 chain = chains[index]
                 while len(chain) <= level:
                     step = next(chain_iters[index], None)

@@ -967,9 +967,11 @@ class Flowtree:
         for key, counters in sorted(self.items(), key=lambda item: item[0].specificity):
             if key.is_root:
                 clone._root.counters = counters.copy()
+                clone._root.invalidate_subtree_cache()
                 continue
             node = clone._get_or_create_node(key)
             node.counters = counters.copy()
+            node.invalidate_subtree_cache()
         clone._stats.updates = self._stats.updates
         return clone
 

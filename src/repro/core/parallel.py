@@ -309,7 +309,7 @@ class ParallelShardedFlowtree:
 
     def _send(self, handle: _WorkerHandle, message: bytes) -> None:
         """Send with crash recovery; the journal makes resends exactly-once."""
-        for attempt in range(_MAX_RESTARTS_PER_OP):
+        for _attempt in range(_MAX_RESTARTS_PER_OP):
             try:
                 self._raw_send(handle, message)
                 return
@@ -332,7 +332,7 @@ class ParallelShardedFlowtree:
 
     def _recv(self, handle: _WorkerHandle, request: bytes) -> bytes:
         """Receive one reply, re-issuing ``request`` after a crash."""
-        for attempt in range(_MAX_RESTARTS_PER_OP):
+        for _attempt in range(_MAX_RESTARTS_PER_OP):
             try:
                 return handle.replies.recv_bytes()
             except (EOFError, OSError):
@@ -390,7 +390,7 @@ class ParallelShardedFlowtree:
 
     def _await_summary(self, pending: PendingSummaries, index: int) -> None:
         handle = self._workers[index]
-        for attempt in range(_MAX_RESTARTS_PER_OP):
+        for _attempt in range(_MAX_RESTARTS_PER_OP):
             try:
                 pending.slots[index] = handle.replies.recv_bytes()
                 self._summary_collected(pending, index)
@@ -660,7 +660,9 @@ class ParallelShardedFlowtree:
     def __del__(self) -> None:  # pragma: no cover - interpreter shutdown ordering
         try:
             self.close()
-        except Exception:
+        except Exception:  # flowlint: disable=exception-hygiene
+            # During interpreter shutdown the worker pipes and module
+            # globals may already be torn down; __del__ must never raise.
             pass
 
     def __repr__(self) -> str:

@@ -1,0 +1,29 @@
+"""flowlint: the AST-based invariant linter (``python -m repro.devtools.lint``).
+
+Public surface:
+
+* :func:`repro.devtools.lint.engine.main` — the CLI (also behind
+  ``flowtree lint``),
+* :func:`repro.devtools.lint.engine.run` / ``check_source`` — programmatic
+  linting (what the test fixtures drive),
+* :data:`repro.devtools.lint.engine.REGISTRY` — the rule registry.
+
+See the package README section "Static analysis & development" for the
+rule battery and the suppression syntax
+(``# flowlint: disable=<rule>[,<rule>...]``).
+"""
+
+from repro.devtools.lint.engine import (  # noqa: F401
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    Finding,
+    REGISTRY,
+    Rule,
+    all_rules,
+    check_source,
+    main,
+    report_json,
+    report_text,
+    run,
+)

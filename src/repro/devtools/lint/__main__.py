@@ -1,0 +1,8 @@
+"""``python -m repro.devtools.lint`` entry point."""
+
+import sys
+
+from repro.devtools.lint.engine import main
+
+if __name__ == "__main__":
+    sys.exit(main(prog="python -m repro.devtools.lint"))

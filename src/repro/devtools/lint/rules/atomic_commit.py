@@ -1,0 +1,101 @@
+"""atomic-commit: store writes must go through temp-then-``os.replace``.
+
+The durable stores (PR 5) promise that a crash mid-commit leaves the old
+state visible and the half-written one invisible.  That holds only while
+every index/metadata write follows the idiom::
+
+    write to <path>.tmp  ->  flush (+ fsync)  ->  os.replace(tmp, path)
+
+and every payload write is append-only (``"a"``/``"ab"`` modes, framed and
+CRC-checked, reachable only through the atomically-replaced index).
+
+This rule flags, inside ``repro/distributed/stores/``, any truncating
+write — ``open(..., "w"/"wb"/"x"/...)``, ``Path.write_text`` or
+``Path.write_bytes`` — in a scope that never calls ``os.replace``: such a
+write can tear, and on reopen the torn bytes are what readers see.
+Append-mode opens are the sanctioned segment-append protocol and pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.devtools.lint.engine import FileContext, Finding, Rule, register
+from repro.devtools.lint.helpers import (
+    attribute_chain,
+    iter_scope_nodes,
+    iter_scopes,
+    string_value,
+)
+
+_DIRECT_WRITERS = ("write_text", "write_bytes")
+
+
+def _open_mode(node: ast.Call) -> Optional[str]:
+    """The mode of an ``open(...)`` / ``<path>.open(...)`` call, if literal."""
+    func = node.func
+    is_open = (isinstance(func, ast.Name) and func.id == "open") or (
+        isinstance(func, ast.Attribute) and func.attr == "open"
+    )
+    if not is_open:
+        return None
+    if len(node.args) >= 2:
+        mode = string_value(node.args[1])
+        if mode is not None:
+            return mode
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            return string_value(keyword.value)
+    if len(node.args) >= 2:
+        return None  # non-literal mode: cannot judge, stay quiet
+    return "r"  # open() default
+
+
+def _scope_has_replace(scope: ast.AST) -> bool:
+    for node in iter_scope_nodes(scope):
+        if isinstance(node, ast.Call):
+            chain = attribute_chain(node.func)
+            if chain is not None and chain[-1] == "replace":
+                return True
+    return False
+
+
+@register
+class AtomicCommitRule(Rule):
+    name = "atomic-commit"
+    description = (
+        "store-path write that bypasses the temp-then-os.replace commit "
+        "idiom (or the append-only segment protocol)"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return "distributed/stores/" in path
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for _qualname, scope in iter_scopes(ctx.tree):
+            if _scope_has_replace(scope):
+                # The scope commits via rename; its temp-file write is the idiom.
+                continue
+            for node in iter_scope_nodes(scope):
+                if not isinstance(node, ast.Call):
+                    continue
+                mode = _open_mode(node)
+                if mode is not None and any(ch in mode for ch in "wx"):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"truncating open(mode={mode!r}) without os.replace() in "
+                        f"the same scope; a crash mid-write tears the store — "
+                        f"write to a .tmp path and os.replace() it over the target",
+                    )
+                    continue
+                func = node.func
+                if isinstance(func, ast.Attribute) and func.attr in _DIRECT_WRITERS:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f".{func.attr}() writes the target in place without "
+                        f"os.replace() in the same scope; a crash mid-write "
+                        f"tears the store — use temp-then-os.replace",
+                    )

@@ -1,0 +1,178 @@
+"""cache-coherence: every counters/children mutation must invalidate.
+
+``FlowtreeNode.subtree_cache`` caches subtree aggregates with
+dirty-propagation up the parent chain (PR 4).  The contract: any code that
+mutates a node's ``counters`` (writes a field, calls ``add``/``subtract``,
+or rebinds the attribute) or restructures ``children`` must, in the same
+lexical scope, either call one of the sanctioned invalidation entry points
+(``invalidate_subtree_cache``, ``attach_child``, ``detach``) or explicitly
+drop the cache (``<node>.subtree_cache = None``).  A mutation without one
+of those leaves a stale aggregate behind that only surfaces as a silently
+wrong query total.
+
+The rule tracks local aliases (``counters = node.counters`` followed by
+``counters.packets += n`` is still a mutation) and treats the whole
+function body as the sanction scope — the invalidation does not have to be
+adjacent, just guaranteed by the function that owns the mutation.  Writes
+rooted at ``self`` inside ``__init__`` are construction, not mutation, and
+are exempt (a node under construction cannot have a cache yet).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.devtools.lint.engine import FileContext, Finding, Rule, register
+from repro.devtools.lint.helpers import attribute_chain, iter_scope_nodes, iter_scopes
+
+#: Counter fields whose write counts as a counters mutation.
+_COUNTER_FIELDS = ("packets", "bytes", "flows")
+
+#: Counters methods that mutate in place.
+_COUNTER_MUTATORS = ("add", "subtract")
+
+#: dict methods that restructure a ``children`` mapping.
+_CHILDREN_MUTATORS = ("pop", "clear", "update", "setdefault", "popitem")
+
+#: Calls that sanction a mutation in the same scope.
+#: ``_rebuild_from_entries`` replaces every node (and drops the root cache)
+#: wholesale, so a scope that ends in a rebuild is coherent by construction.
+_SANCTIONS = (
+    "invalidate_subtree_cache",
+    "attach_child",
+    "detach",
+    "_rebuild_from_entries",
+)
+
+
+def _tail_attr_chain(node: ast.AST, attr: str) -> Optional[List[str]]:
+    """Attribute chain of ``node`` when it ends in ``.attr`` (else ``None``)."""
+    chain = attribute_chain(node)
+    if chain is not None and len(chain) >= 2 and chain[-1] == attr:
+        return chain
+    return None
+
+
+@register
+class CacheCoherenceRule(Rule):
+    name = "cache-coherence"
+    description = (
+        "mutating FlowtreeNode counters/children without invalidating the "
+        "cached subtree aggregates in the same scope"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return "repro/" in path and "repro/devtools/" not in path
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for qualname, scope in iter_scopes(ctx.tree):
+            yield from self._check_scope(ctx, qualname, scope)
+
+    def _check_scope(
+        self, ctx: FileContext, qualname: str, scope: ast.AST
+    ) -> Iterator[Finding]:
+        in_init = qualname.rsplit(".", 1)[-1] == "__init__"
+        #: local alias name -> root name of the aliased node expression
+        counters_aliases: Dict[str, str] = {}
+        children_aliases: Dict[str, str] = {}
+        mutations: List[Tuple[ast.AST, str, str]] = []
+        sanctioned = False
+
+        def counters_root(node: ast.AST) -> Optional[str]:
+            """Root name when ``node`` refers to a counters object."""
+            chain = _tail_attr_chain(node, "counters")
+            if chain is not None:
+                return chain[0]
+            if isinstance(node, ast.Name):
+                return counters_aliases.get(node.id)
+            return None
+
+        def children_root(node: ast.AST) -> Optional[str]:
+            chain = _tail_attr_chain(node, "children")
+            if chain is not None:
+                return chain[0]
+            if isinstance(node, ast.Name):
+                return children_aliases.get(node.id)
+            return None
+
+        for node in iter_scope_nodes(scope):
+            # -- alias bindings: name = <expr>.counters / <expr>.children
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    chain = _tail_attr_chain(node.value, "counters")
+                    if chain is not None:
+                        counters_aliases[target.id] = chain[0]
+                        continue
+                    chain = _tail_attr_chain(node.value, "children")
+                    if chain is not None:
+                        children_aliases[target.id] = chain[0]
+                        continue
+                    counters_aliases.pop(target.id, None)
+                    children_aliases.pop(target.id, None)
+
+            # -- sanctions
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and func.attr in _SANCTIONS:
+                    sanctioned = True
+                elif isinstance(func, ast.Name) and func.id in _SANCTIONS:
+                    sanctioned = True
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr == "subtree_cache"
+                        and isinstance(node.value, ast.Constant)
+                        and node.value.value is None
+                    ):
+                        sanctioned = True
+
+            # -- mutations
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Attribute):
+                        root = counters_root(target.value)
+                        if target.attr in _COUNTER_FIELDS and root is not None:
+                            mutations.append((node, "counter field write", root))
+                            continue
+                        chain = attribute_chain(target)
+                        if chain is not None and len(chain) >= 2:
+                            if target.attr == "counters":
+                                mutations.append((node, "counters rebound", chain[0]))
+                            elif target.attr == "children":
+                                mutations.append((node, "children rebound", chain[0]))
+                    elif isinstance(target, ast.Subscript):
+                        root = children_root(target.value)
+                        if root is not None:
+                            mutations.append((node, "child link written", root))
+            if isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript):
+                        root = children_root(target.value)
+                        if root is not None:
+                            mutations.append((node, "child link deleted", root))
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                owner = node.func.value
+                root = counters_root(owner)
+                if node.func.attr in _COUNTER_MUTATORS and root is not None:
+                    mutations.append((node, f"counters.{node.func.attr}()", root))
+                else:
+                    root = children_root(owner)
+                    if node.func.attr in _CHILDREN_MUTATORS and root is not None:
+                        mutations.append((node, f"children.{node.func.attr}()", root))
+
+        if sanctioned:
+            return
+        for node, what, root in mutations:
+            if in_init and root == "self":
+                continue  # construction: a node being built has no cache yet
+            yield self.finding(
+                ctx,
+                node,
+                f"{what} without invalidate_subtree_cache()/attach_child()/"
+                f"detach() in the same scope; stale subtree aggregates "
+                f"silently corrupt query results",
+            )

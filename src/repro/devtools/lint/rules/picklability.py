@@ -1,0 +1,125 @@
+"""worker-picklability: process entry points must be module-level functions.
+
+:mod:`repro.core.parallel` ships work to shard worker processes.  Whatever
+crosses that boundary is pickled by ``multiprocessing`` — and lambdas,
+closures and functions nested inside other functions are not picklable, so
+passing one as a ``Process`` target (or into a pool/executor submission)
+fails only at runtime, on the spawning path, possibly only on platforms
+whose start method actually pickles (``spawn``).
+
+This rule flags, at every process/pool submission site, a callable that is
+a lambda or a name bound to a nested ``def`` in an enclosing function of
+the same module.  Module-level functions, imported names and attributes it
+cannot resolve are accepted.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.devtools.lint.engine import FileContext, Finding, Rule, register
+from repro.devtools.lint.helpers import iter_scope_nodes
+
+#: ``X.Process(target=...)`` — the callable is the ``target`` kwarg (or the
+#: second positional argument, after ``group``).
+_PROCESS_CTORS = ("Process",)
+
+#: Pool/executor submissions whose first positional argument is the callable.
+_SUBMITTERS = (
+    "submit",
+    "apply",
+    "apply_async",
+    "map",
+    "map_async",
+    "imap",
+    "imap_unordered",
+    "starmap",
+    "starmap_async",
+)
+
+
+def _module_level_names(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+    return names
+
+
+def _nested_def_names(tree: ast.Module) -> Set[str]:
+    """Names of functions defined inside other functions (closure suspects)."""
+    nested: Set[str] = set()
+    for outer in ast.walk(tree):
+        if not isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for inner in iter_scope_nodes(outer):
+            if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested.add(inner.name)
+    return nested
+
+
+def _submission_callable(node: ast.Call) -> Optional[ast.AST]:
+    """The callable argument of a process/pool submission call, if any."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    if func.attr in _PROCESS_CTORS:
+        for keyword in node.keywords:
+            if keyword.arg == "target":
+                return keyword.value
+        if len(node.args) >= 2:
+            return node.args[1]
+        return None
+    if func.attr in _SUBMITTERS:
+        # Plain containers also have .map/.pop etc.; require the receiver to
+        # look like a pool/executor/process object to keep precision.
+        receiver = func.value
+        receiver_name = ""
+        if isinstance(receiver, ast.Name):
+            receiver_name = receiver.id
+        elif isinstance(receiver, ast.Attribute):
+            receiver_name = receiver.attr
+        lowered = receiver_name.lower()
+        if any(hint in lowered for hint in ("pool", "executor", "context", "ctx")):
+            return node.args[0] if node.args else None
+        return None
+    return None
+
+
+@register
+class PicklabilityRule(Rule):
+    name = "worker-picklability"
+    description = (
+        "lambda/closure/nested function passed as a process or pool entry "
+        "point; not picklable across the process boundary"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return "repro/devtools/" not in path
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        module_names = _module_level_names(ctx.tree)
+        nested_names = _nested_def_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _submission_callable(node)
+            if target is None:
+                continue
+            if isinstance(target, ast.Lambda):
+                yield self.finding(
+                    ctx,
+                    target,
+                    "lambda passed as a worker entry point; lambdas are not "
+                    "picklable — use a module-level function",
+                )
+            elif isinstance(target, ast.Name):
+                if target.id in nested_names and target.id not in module_names:
+                    yield self.finding(
+                        ctx,
+                        target,
+                        f"nested function {target.id}() passed as a worker entry "
+                        f"point; closures are not picklable — hoist it to module "
+                        f"level",
+                    )

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 from repro.core.config import FlowtreeConfig
 from repro.core.errors import DaemonError
@@ -36,6 +36,7 @@ from repro.distributed.messages import SummaryMessage
 from repro.distributed.transport import SimulatedTransport
 from repro.features.schema import FlowSchema
 from repro.flows.netflow import decode_datagram
+from repro.flows.records import FlowRecord
 
 
 @dataclass
@@ -245,7 +246,7 @@ class FlowtreeDaemon:
         batched fast path — essential in workers mode, where per-record
         ingestion would pay one process round-trip per flow.
         """
-        def flows_of(packets):
+        def flows_of(packets: Iterable[bytes]) -> Iterator[FlowRecord]:
             for datagram in packets:
                 _, flows = decode_datagram(datagram, exporter=self._site)
                 yield from flows

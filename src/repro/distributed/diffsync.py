@@ -16,7 +16,7 @@ that protocol:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.core.errors import DaemonError
 from repro.core.flowtree import Flowtree
@@ -141,7 +141,7 @@ class DiffSyncDecoder:
             self._previous[site] = tree
 
 
-def transfer_comparison(trees) -> Tuple[int, int]:
+def transfer_comparison(trees: Iterable[Flowtree]) -> Tuple[int, int]:
     """``(full_bytes, diff_bytes)`` for shipping a time-ordered list of summaries.
 
     Convenience used by the CLAIM-TRANSFER benchmark: the first summary is

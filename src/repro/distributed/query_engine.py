@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.errors import QueryError
-from repro.core.estimator import children_of, drill_down
+from repro.core.estimator import DrilldownStep, children_of, drill_down
 from repro.core.key import FlowKey
 from repro.distributed.collector import Collector
 from repro.distributed.messages import QueryRequest, QueryResponse
@@ -126,7 +126,7 @@ class DistributedQueryEngine:
         end_bin: Optional[int] = None,
         metric: str = "packets",
         dominance: float = 0.5,
-    ):
+    ) -> List[DrilldownStep]:
         """Automated drill-down (paper intro: "is it one IP, one /24, ...?")."""
         merged = self._collector.merged(sites=sites, start_bin=start_bin, end_bin=end_bin)
         key = FlowKey.from_wire(merged.schema, tuple(key_wire))

@@ -10,6 +10,7 @@ what the multi-site example and the FIG1 benchmark use.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from types import TracebackType
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.config import FlowtreeConfig
@@ -185,7 +186,12 @@ class Deployment:
     def __enter__(self) -> "Deployment":
         return self
 
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc_value: Optional[BaseException],
+        traceback: Optional[TracebackType],
+    ) -> None:
         self.close()
 
     def transfer_bytes(self) -> int:

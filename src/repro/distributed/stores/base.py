@@ -26,6 +26,7 @@ import struct
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from types import TracebackType
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.errors import SerializationError
@@ -219,7 +220,12 @@ class TimeSeriesStore(ABC):
     def __enter__(self) -> "TimeSeriesStore":
         return self
 
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc_value: Optional[BaseException],
+        traceback: Optional[TracebackType],
+    ) -> None:
         self.close()
 
 
@@ -341,7 +347,7 @@ class CachedTreeStore(TimeSeriesStore):
             if k[0] == site and k[1] < bin_index
         }
         committed = set(self._backend_bin_indices(site))
-        for key in staged_only:
+        for key in sorted(staged_only):
             del self._cache[key]
         removed = self._delete_bins(site, bin_index)
         # Bins that existed only in the cache still count as removed.

@@ -28,6 +28,7 @@ from repro.core.operators import merge_all
 from repro.distributed.stores.base import TimeSeriesStore, pack_float, unpack_float
 from repro.distributed.stores.memory import MemoryStore
 from repro.features.schema import FlowSchema
+from repro.flows.records import FlowRecord
 
 
 class FlowtreeTimeSeries:
@@ -132,7 +133,7 @@ class FlowtreeTimeSeries:
             self._store.stage(self._site, bin_index, tree)
         return tree
 
-    def add_record(self, record) -> int:
+    def add_record(self, record: FlowRecord) -> int:
         """Route one record into its bin; returns the bin index used.
 
         Mutates the bin's live (cached) tree; durable backends persist
@@ -144,7 +145,7 @@ class FlowtreeTimeSeries:
         self._store.mark_dirty(self._site, bin_index)
         return bin_index
 
-    def add_records(self, records) -> int:
+    def add_records(self, records: Iterable[FlowRecord]) -> int:
         """Route every record of an iterable; returns the number consumed."""
         count = 0
         for record in records:

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.errors import SerializationError
 from repro.flows.records import FlowRecord
@@ -126,7 +126,9 @@ def encode_datagrams(
         yield encode_datagram(batch, flow_sequence=sequence, base_time=base_time)
 
 
-def decode_datagram(data: bytes, exporter: str = None) -> Tuple[NetflowHeader, List[FlowRecord]]:
+def decode_datagram(
+    data: bytes, exporter: Optional[str] = None
+) -> Tuple[NetflowHeader, List[FlowRecord]]:
     """Decode one NetFlow v5 datagram into its header and flow records."""
     if len(data) < HEADER_SIZE:
         raise SerializationError(

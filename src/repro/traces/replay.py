@@ -8,6 +8,7 @@ a stream against a virtual clock for daemon-style incremental processing.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar
 
@@ -106,7 +107,7 @@ def split_by_site(
 
 def paced(
     records: Iterable[RecordT],
-    speedup: float = float("inf"),
+    speedup: float = math.inf,
     timestamp_of: Callable[[RecordT], float] = lambda record: record.timestamp,
 ) -> Iterator[Tuple[float, RecordT]]:
     """Yield ``(virtual_time, record)`` pairs, optionally rate-limited.
@@ -125,7 +126,7 @@ def paced(
         timestamp = timestamp_of(record)
         if first_timestamp is None:
             first_timestamp = timestamp
-        if speedup != float("inf"):
+        if speedup != math.inf:
             target = (timestamp - first_timestamp) / speedup
             elapsed = _time.monotonic() - wall_start
             if target > elapsed:

@@ -1,0 +1,888 @@
+"""Tests for flowlint, the AST-based invariant linter (``repro.devtools.lint``).
+
+Each rule gets fixture-driven coverage: a positive snippet the rule must
+flag, a negative snippet it must pass, and a suppressed variant.  On top of
+that the engine-level contracts are asserted — JSON report schema, exit
+codes, rule selection — and a self-check pins the shipped tree to zero
+findings, which is what makes reintroducing a contract violation a CI
+failure rather than a code-review hope.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint.engine import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    REGISTRY,
+    REPORT_VERSION,
+    all_rules,
+    check_source,
+    main,
+    run,
+)
+from repro.devtools.lint.rules.atomic_commit import AtomicCommitRule
+from repro.devtools.lint.rules.cache_coherence import CacheCoherenceRule
+from repro.devtools.lint.rules.exception_hygiene import ExceptionHygieneRule
+from repro.devtools.lint.rules.fold_determinism import FoldDeterminismRule
+from repro.devtools.lint.rules.picklability import PicklabilityRule
+from repro.devtools.lint.rules.wire_format import (
+    WireFormatRule,
+    build_manifest,
+    fingerprint,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Paths inside each rule's scope, for fixture linting.
+CORE_PATH = "src/repro/core/sample.py"
+STORE_PATH = "src/repro/distributed/stores/sample.py"
+SERIALIZATION_PATH = "src/repro/core/serialization.py"
+
+
+def lint(source, path=CORE_PATH, rules=None):
+    """check_source over a dedented snippet."""
+    return check_source(textwrap.dedent(source), path, rules=rules)
+
+
+def rule_names(findings):
+    return [finding.rule for finding in findings]
+
+
+# -- registry / engine basics --------------------------------------------------------
+
+
+class TestEngine:
+    def test_all_six_rules_registered(self):
+        names = {rule.name for rule in all_rules()}
+        assert names == {
+            "atomic-commit",
+            "cache-coherence",
+            "exception-hygiene",
+            "fold-determinism",
+            "wire-format",
+            "worker-picklability",
+        }
+
+    def test_rules_have_descriptions(self):
+        for rule in all_rules():
+            assert rule.description, rule.name
+
+    def test_syntax_error_becomes_parse_error_finding(self):
+        findings = lint("def broken(:\n    pass\n")
+        assert rule_names(findings) == ["parse-error"]
+        assert findings[0].line == 1
+
+    def test_findings_are_sorted_and_positioned(self):
+        findings = lint(
+            """
+            def late():
+                try:
+                    pass
+                except:
+                    pass
+
+            def early():
+                try:
+                    pass
+                except:
+                    pass
+            """
+        )
+        lines = [finding.line for finding in findings]
+        assert lines == sorted(lines)
+        assert all(finding.col >= 1 for finding in findings)
+
+    def test_scope_respected_unless_disabled(self):
+        source = """
+        def f(store_path):
+            store_path.write_text("x")
+        """
+        # Outside stores/, atomic-commit does not apply...
+        assert lint(source, path="src/repro/other.py") == []
+        # ...inside it, it does...
+        assert rule_names(lint(source, path=STORE_PATH)) == ["atomic-commit"]
+        # ...and respect_scope=False forces the rule regardless of path.
+        forced = check_source(
+            textwrap.dedent(source),
+            "src/repro/other.py",
+            rules=[AtomicCommitRule()],
+            respect_scope=False,
+        )
+        assert rule_names(forced) == ["atomic-commit"]
+
+
+class TestSuppressions:
+    def test_disable_comment_suppresses_named_rule(self):
+        findings = lint(
+            """
+            try:
+                pass
+            except Exception:  # flowlint: disable=exception-hygiene
+                pass
+            """
+        )
+        assert findings == []
+
+    def test_disable_all_wildcard(self):
+        findings = lint(
+            """
+            try:
+                pass
+            except Exception:  # flowlint: disable=all
+                pass
+            """
+        )
+        assert findings == []
+
+    def test_disable_other_rule_does_not_suppress(self):
+        findings = lint(
+            """
+            try:
+                pass
+            except Exception:  # flowlint: disable=cache-coherence
+                pass
+            """
+        )
+        assert rule_names(findings) == ["exception-hygiene"]
+
+    def test_suppression_must_be_on_finding_line(self):
+        findings = lint(
+            """
+            # flowlint: disable=exception-hygiene
+            try:
+                pass
+            except Exception:
+                pass
+            """
+        )
+        assert rule_names(findings) == ["exception-hygiene"]
+
+
+# -- cache-coherence -------------------------------------------------------------
+
+
+class TestCacheCoherence:
+    RULES = [CacheCoherenceRule()]
+
+    def test_counter_write_without_invalidate_flagged(self):
+        findings = lint(
+            """
+            def touch(node, n):
+                node.counters.packets += n
+            """,
+            rules=self.RULES,
+        )
+        assert rule_names(findings) == ["cache-coherence"]
+
+    def test_counter_write_with_invalidate_passes(self):
+        findings = lint(
+            """
+            def touch(node, n):
+                node.counters.packets += n
+                node.invalidate_subtree_cache()
+            """,
+            rules=self.RULES,
+        )
+        assert findings == []
+
+    def test_alias_mutation_tracked(self):
+        findings = lint(
+            """
+            def touch(node, n):
+                counters = node.counters
+                counters.packets += n
+            """,
+            rules=self.RULES,
+        )
+        assert rule_names(findings) == ["cache-coherence"]
+
+    def test_counters_add_call_flagged(self):
+        findings = lint(
+            """
+            def fold(node, other):
+                node.counters.add(other)
+            """,
+            rules=self.RULES,
+        )
+        assert rule_names(findings) == ["cache-coherence"]
+
+    def test_children_write_needs_attach_or_invalidate(self):
+        flagged = lint(
+            """
+            def link(parent, key, child):
+                parent.children[key] = child
+            """,
+            rules=self.RULES,
+        )
+        assert rule_names(flagged) == ["cache-coherence"]
+        clean = lint(
+            """
+            def link(parent, key, child):
+                parent.attach_child(key, child)
+            """,
+            rules=self.RULES,
+        )
+        assert clean == []
+
+    def test_explicit_cache_drop_sanctions(self):
+        findings = lint(
+            """
+            def rebind(node, fresh):
+                node.counters = fresh
+                node.subtree_cache = None
+            """,
+            rules=self.RULES,
+        )
+        assert findings == []
+
+    def test_init_self_writes_exempt(self):
+        findings = lint(
+            """
+            class Node:
+                def __init__(self):
+                    self.counters = object()
+                    self.children = {}
+            """,
+            rules=self.RULES,
+        )
+        assert findings == []
+
+    def test_suppressed(self):
+        findings = lint(
+            """
+            def touch(node, n):
+                node.counters.packets += n  # flowlint: disable=cache-coherence
+            """,
+            rules=self.RULES,
+        )
+        assert findings == []
+
+
+# -- atomic-commit ---------------------------------------------------------------
+
+
+class TestAtomicCommit:
+    RULES = [AtomicCommitRule()]
+
+    def test_truncating_open_without_replace_flagged(self):
+        findings = lint(
+            """
+            def save(path, data):
+                with open(path, "wb") as handle:
+                    handle.write(data)
+            """,
+            path=STORE_PATH,
+            rules=self.RULES,
+        )
+        assert rule_names(findings) == ["atomic-commit"]
+
+    def test_temp_then_replace_passes(self):
+        findings = lint(
+            """
+            import os
+
+            def save(path, tmp, data):
+                with open(tmp, "wb") as handle:
+                    handle.write(data)
+                os.replace(tmp, path)
+            """,
+            path=STORE_PATH,
+            rules=self.RULES,
+        )
+        assert findings == []
+
+    def test_append_mode_is_the_segment_protocol(self):
+        findings = lint(
+            """
+            def append(path, frame):
+                with open(path, "ab") as handle:
+                    handle.write(frame)
+            """,
+            path=STORE_PATH,
+            rules=self.RULES,
+        )
+        assert findings == []
+
+    def test_read_mode_and_default_mode_pass(self):
+        findings = lint(
+            """
+            def load(path):
+                with open(path) as handle:
+                    return handle.read()
+            """,
+            path=STORE_PATH,
+            rules=self.RULES,
+        )
+        assert findings == []
+
+    def test_write_text_flagged(self):
+        findings = lint(
+            """
+            def save(path, text):
+                path.write_text(text)
+            """,
+            path=STORE_PATH,
+            rules=self.RULES,
+        )
+        assert rule_names(findings) == ["atomic-commit"]
+
+    def test_suppressed(self):
+        findings = lint(
+            """
+            def save(path, text):
+                path.write_text(text)  # flowlint: disable=atomic-commit
+            """,
+            path=STORE_PATH,
+            rules=self.RULES,
+        )
+        assert findings == []
+
+
+# -- wire-format ------------------------------------------------------------------
+
+
+WIRE_MODULE = '''
+FORMAT_VERSION = 2
+BATCH_FORMAT_VERSION = 1
+
+
+def encode_varint(value, out):
+    """Docstrings are free to change."""
+    out.append(value)
+
+
+def decode_varint(data, offset):
+    return data[offset], offset + 1
+
+
+def encode_zigzag(value, out):
+    out.append(value)
+
+
+def decode_zigzag(data, offset):
+    return data[offset], offset + 1
+
+
+def _encode_string(value, out):
+    out.append(value)
+
+
+def _decode_string(data, offset):
+    return data[offset], offset + 1
+
+
+def to_bytes(tree):
+    return b"FTRE"
+
+
+def summary_header(data):
+    return {}
+
+
+def from_bytes(data):
+    return None
+
+
+def encode_aggregated_batch(items):
+    return b"FTAB"
+
+
+def decode_aggregated_batch(data, schema):
+    return [], 0
+'''
+
+
+def wire_rule_for(source):
+    """A WireFormatRule pinned to ``source``'s own fingerprints."""
+    import ast
+
+    manifest = build_manifest(ast.parse(textwrap.dedent(source)))
+    return WireFormatRule(manifest=manifest)
+
+
+class TestWireFormat:
+    def test_unchanged_module_passes(self):
+        rule = wire_rule_for(WIRE_MODULE)
+        assert lint(WIRE_MODULE, path=SERIALIZATION_PATH, rules=[rule]) == []
+
+    def test_docstring_edit_does_not_trip(self):
+        rule = wire_rule_for(WIRE_MODULE)
+        edited = WIRE_MODULE.replace(
+            "Docstrings are free to change.", "Totally new documentation."
+        )
+        assert lint(edited, path=SERIALIZATION_PATH, rules=[rule]) == []
+
+    def test_body_change_without_bump_flagged(self):
+        rule = wire_rule_for(WIRE_MODULE)
+        drifted = WIRE_MODULE.replace('return b"FTRE"', 'return b"FTRX"')
+        findings = lint(drifted, path=SERIALIZATION_PATH, rules=[rule])
+        assert rule_names(findings) == ["wire-format"]
+        assert "bump FORMAT_VERSION" in findings[0].message
+
+    def test_shared_primitive_change_flags_both_groups(self):
+        rule = wire_rule_for(WIRE_MODULE)
+        drifted = WIRE_MODULE.replace(
+            "def encode_varint(value, out):\n    \"\"\"Docstrings are free to change.\"\"\"\n    out.append(value)",
+            "def encode_varint(value, out):\n    out.append(value + 1)",
+        )
+        findings = lint(drifted, path=SERIALIZATION_PATH, rules=[rule])
+        constants = {f.message.split("but ")[1].split(" is")[0] for f in findings}
+        assert constants == {"FORMAT_VERSION", "BATCH_FORMAT_VERSION"}
+
+    def test_version_bump_demands_manifest_regen(self):
+        rule = wire_rule_for(WIRE_MODULE)
+        bumped = WIRE_MODULE.replace("FORMAT_VERSION = 2", "FORMAT_VERSION = 3")
+        findings = lint(bumped, path=SERIALIZATION_PATH, rules=[rule])
+        assert rule_names(findings) == ["wire-format"]
+        assert "--update-wire-manifest" in findings[0].message
+
+    def test_deleted_pinned_function_flagged(self):
+        rule = wire_rule_for(WIRE_MODULE)
+        gutted = WIRE_MODULE.replace(
+            'def summary_header(data):\n    return {}\n', ""
+        )
+        findings = lint(gutted, path=SERIALIZATION_PATH, rules=[rule])
+        assert rule_names(findings) == ["wire-format"]
+        assert "summary_header" in findings[0].message
+
+    def test_fingerprint_ignores_docstring_only(self):
+        import ast
+
+        with_doc = ast.parse('def f():\n    """doc"""\n    return 1').body[0]
+        without_doc = ast.parse("def f():\n    return 1").body[0]
+        changed = ast.parse("def f():\n    return 2").body[0]
+        assert fingerprint(with_doc) == fingerprint(without_doc)
+        assert fingerprint(with_doc) != fingerprint(changed)
+
+    def test_shipped_manifest_matches_shipped_serialization(self):
+        """The committed manifest must be in sync with core/serialization.py."""
+        findings, _ = run([str(REPO_ROOT / "src" / "repro" / "core" / "serialization.py")],
+                          select=["wire-format"])
+        assert findings == []
+
+
+# -- worker-picklability -----------------------------------------------------------
+
+
+class TestPicklability:
+    RULES = [PicklabilityRule()]
+
+    def test_lambda_process_target_flagged(self):
+        findings = lint(
+            """
+            import multiprocessing
+
+            def spawn():
+                worker = multiprocessing.Process(target=lambda: None)
+                worker.start()
+            """,
+            rules=self.RULES,
+        )
+        assert rule_names(findings) == ["worker-picklability"]
+
+    def test_nested_function_target_flagged(self):
+        findings = lint(
+            """
+            import multiprocessing
+
+            def spawn():
+                def body():
+                    pass
+                worker = multiprocessing.Process(target=body)
+                worker.start()
+            """,
+            rules=self.RULES,
+        )
+        assert rule_names(findings) == ["worker-picklability"]
+
+    def test_module_level_target_passes(self):
+        findings = lint(
+            """
+            import multiprocessing
+
+            def body():
+                pass
+
+            def spawn():
+                worker = multiprocessing.Process(target=body)
+                worker.start()
+            """,
+            rules=self.RULES,
+        )
+        assert findings == []
+
+    def test_pool_submission_with_lambda_flagged(self):
+        findings = lint(
+            """
+            def fan_out(pool, items):
+                return pool.map(lambda item: item, items)
+            """,
+            rules=self.RULES,
+        )
+        assert rule_names(findings) == ["worker-picklability"]
+
+    def test_plain_container_map_not_confused_with_pool(self):
+        findings = lint(
+            """
+            def remap(values):
+                return values.map(lambda item: item)
+            """,
+            rules=self.RULES,
+        )
+        assert findings == []
+
+    def test_suppressed(self):
+        findings = lint(
+            """
+            import multiprocessing
+
+            def spawn():
+                worker = multiprocessing.Process(target=lambda: None)  # flowlint: disable=worker-picklability
+                worker.start()
+            """,
+            rules=self.RULES,
+        )
+        assert findings == []
+
+
+# -- fold-determinism ---------------------------------------------------------------
+
+
+class TestFoldDeterminism:
+    RULES = [FoldDeterminismRule()]
+    PATH = "src/repro/core/compaction.py"
+
+    def test_loop_over_set_flagged(self):
+        findings = lint(
+            """
+            def fold(victims):
+                pending = set(victims)
+                for victim in pending:
+                    victim.fold()
+            """,
+            path=self.PATH,
+            rules=self.RULES,
+        )
+        assert rule_names(findings) == ["fold-determinism"]
+
+    def test_sorted_wrapper_passes(self):
+        findings = lint(
+            """
+            def fold(victims):
+                pending = set(victims)
+                for victim in sorted(pending):
+                    victim.fold()
+            """,
+            path=self.PATH,
+            rules=self.RULES,
+        )
+        assert findings == []
+
+    def test_set_literal_iteration_flagged(self):
+        findings = lint(
+            """
+            def emit(out):
+                for value in {3, 1, 2}:
+                    out.append(value)
+            """,
+            path=self.PATH,
+            rules=self.RULES,
+        )
+        assert rule_names(findings) == ["fold-determinism"]
+
+    def test_order_insensitive_reduction_passes(self):
+        findings = lint(
+            """
+            def count(victims):
+                pending = set(victims)
+                total = sum(v.weight for v in pending)
+                kept = len([v for v in pending if v.alive])
+                return total + kept
+            """,
+            path=self.PATH,
+            rules=self.RULES,
+        )
+        assert findings == []
+
+    def test_set_rebuild_comprehension_passes(self):
+        findings = lint(
+            """
+            def survivors(victims):
+                pending = set(victims)
+                return {v for v in pending if v.alive}
+            """,
+            path=self.PATH,
+            rules=self.RULES,
+        )
+        assert findings == []
+
+    def test_list_comprehension_over_set_flagged(self):
+        findings = lint(
+            """
+            def order(victims):
+                pending = set(victims)
+                return [v.key for v in pending]
+            """,
+            path=self.PATH,
+            rules=self.RULES,
+        )
+        assert rule_names(findings) == ["fold-determinism"]
+
+    def test_out_of_scope_module_not_linted(self):
+        findings = lint(
+            """
+            def fold(victims):
+                pending = set(victims)
+                for victim in pending:
+                    victim.fold()
+            """,
+            path="src/repro/analysis/report.py",
+            rules=self.RULES,
+        )
+        assert findings == []
+
+    def test_suppressed(self):
+        findings = lint(
+            """
+            def fold(victims):
+                pending = set(victims)
+                for victim in pending:  # flowlint: disable=fold-determinism
+                    victim.fold()
+            """,
+            path=self.PATH,
+            rules=self.RULES,
+        )
+        assert findings == []
+
+
+# -- exception-hygiene ---------------------------------------------------------------
+
+
+class TestExceptionHygiene:
+    RULES = [ExceptionHygieneRule()]
+
+    def test_bare_except_flagged(self):
+        findings = lint(
+            """
+            def f():
+                try:
+                    pass
+                except:
+                    pass
+            """,
+            rules=self.RULES,
+        )
+        assert rule_names(findings) == ["exception-hygiene"]
+
+    def test_swallowing_broad_except_flagged(self):
+        findings = lint(
+            """
+            def f():
+                try:
+                    pass
+                except Exception:
+                    pass
+            """,
+            rules=self.RULES,
+        )
+        assert rule_names(findings) == ["exception-hygiene"]
+
+    def test_narrow_except_passes(self):
+        findings = lint(
+            """
+            def f():
+                try:
+                    pass
+                except OSError:
+                    pass
+            """,
+            rules=self.RULES,
+        )
+        assert findings == []
+
+    def test_reraise_passes(self):
+        findings = lint(
+            """
+            def f():
+                try:
+                    pass
+                except Exception:
+                    raise
+            """,
+            rules=self.RULES,
+        )
+        assert findings == []
+
+    def test_using_bound_exception_passes(self):
+        findings = lint(
+            """
+            def f(log):
+                try:
+                    pass
+                except Exception as exc:
+                    log.append(exc)
+            """,
+            rules=self.RULES,
+        )
+        assert findings == []
+
+    def test_reporting_call_passes(self):
+        findings = lint(
+            """
+            def f():
+                try:
+                    pass
+                except Exception:
+                    print("it failed")
+            """,
+            rules=self.RULES,
+        )
+        assert findings == []
+
+    def test_broad_tuple_flagged(self):
+        findings = lint(
+            """
+            def f():
+                try:
+                    pass
+                except (ValueError, Exception):
+                    pass
+            """,
+            rules=self.RULES,
+        )
+        assert rule_names(findings) == ["exception-hygiene"]
+
+    def test_suppressed(self):
+        findings = lint(
+            """
+            def f():
+                try:
+                    pass
+                except Exception:  # flowlint: disable=exception-hygiene
+                    pass
+            """,
+            rules=self.RULES,
+        )
+        assert findings == []
+
+
+# -- CLI: exit codes, formats, selection ----------------------------------------------
+
+
+class TestCli:
+    def write(self, tmp_path, name, source):
+        path = tmp_path / name
+        path.write_text(textwrap.dedent(source))
+        return path
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = self.write(tmp_path, "clean.py", "x = 1\n")
+        assert main([str(path)]) == EXIT_CLEAN
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        path = self.write(
+            tmp_path,
+            "dirty.py",
+            """
+            try:
+                pass
+            except:
+                pass
+            """,
+        )
+        assert main([str(path)]) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "exception-hygiene" in out
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert main(["definitely/not/a/path"]) == EXIT_USAGE
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_rule_is_usage_error(self, tmp_path, capsys):
+        path = self.write(tmp_path, "clean.py", "x = 1\n")
+        assert main([str(path), "--select", "no-such-rule"]) == EXIT_USAGE
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_select_limits_rules(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            "dirty.py",
+            """
+            try:
+                pass
+            except:
+                pass
+            """,
+        )
+        # exception-hygiene finds it; selecting another rule does not.
+        assert main([str(path), "--select", "exception-hygiene"]) == EXIT_FINDINGS
+        assert main([str(path), "--select", "worker-picklability"]) == EXIT_CLEAN
+
+    def test_json_report_schema(self, tmp_path, capsys):
+        path = self.write(
+            tmp_path,
+            "dirty.py",
+            """
+            try:
+                pass
+            except:
+                pass
+            """,
+        )
+        assert main([str(path), "--format", "json"]) == EXIT_FINDINGS
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == REPORT_VERSION
+        assert document["files_checked"] == 1
+        assert len(document["findings"]) == 1
+        finding = document["findings"][0]
+        assert set(finding) == {"rule", "path", "line", "col", "message"}
+        assert finding["rule"] == "exception-hygiene"
+        assert finding["line"] >= 1 and finding["col"] >= 1
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for name in REGISTRY:
+            assert name in out
+
+    def test_flowtree_lint_subcommand(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        path = self.write(
+            tmp_path,
+            "dirty.py",
+            """
+            try:
+                pass
+            except:
+                pass
+            """,
+        )
+        assert cli_main(["lint", str(path)]) == EXIT_FINDINGS
+        assert "exception-hygiene" in capsys.readouterr().out
+        assert cli_main(["lint", "--list-rules"]) == EXIT_CLEAN
+
+
+# -- the self-check: the shipped tree is clean ----------------------------------------
+
+
+class TestShippedTreeIsClean:
+    def test_repo_lints_clean(self):
+        """`flowtree lint` over the shipped tree reports zero findings.
+
+        This is the gate that turns every rule into an enforced contract:
+        reintroducing a cache-incoherent mutation, a torn store write, a
+        wire drift, an unpicklable worker target, an unordered fold or a
+        swallowed broad except makes this test (and the CI lint job) fail.
+        """
+        paths = [str(REPO_ROOT / name) for name in ("src", "tests", "benchmarks")]
+        findings, files_checked = run(paths)
+        assert files_checked > 50
+        details = "\n".join(finding.format_text() for finding in findings)
+        assert findings == [], f"flowlint findings on the shipped tree:\n{details}"
