@@ -12,7 +12,8 @@ Operator-facing entry points over the library:
 * ``flowtree merge`` / ``flowtree diff`` — combine summary files,
 * ``flowtree drilldown`` — automated investigation below a key,
 * ``flowtree collect`` — replay a capture through a daemon into a
-  collector with a chosen storage backend (``--store memory|file|sqlite``),
+  collector with a chosen storage backend (``--store memory|file|sqlite``)
+  and transport (``--transport memory|tcp``),
 * ``flowtree store-info`` — reopen a durable collector store and report
   its sites, bins and footprint,
 * ``flowtree lint`` — run flowlint, the AST-based invariant linter that
@@ -43,8 +44,9 @@ from repro.core.sharded import ShardedFlowtree
 from repro.devtools.lint.engine import main as _flowlint_main
 from repro.distributed.collector import Collector, CollectorConfig, stored_identity
 from repro.distributed.daemon import FlowtreeDaemon
+from repro.distributed.net import CollectorServer, SiteClient
 from repro.distributed.stores import STORE_KINDS, open_store
-from repro.distributed.transport import SimulatedTransport
+from repro.distributed.transport import SimulatedTransport, Transport
 from repro.features.schema import schema_by_name
 from repro.flows.csv_io import read_csv, write_csv
 from repro.flows.pcap import read_pcap, write_pcap
@@ -140,6 +142,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="directory (file store) or database file (sqlite store)")
     collect.add_argument("--retain-bins", type=int, default=None,
                          help="keep only the newest N bins per site")
+    collect.add_argument("--transport", choices=("memory", "tcp"), default="memory",
+                         help="ship summaries in-process or over a real "
+                              "localhost TCP connection")
+    collect.add_argument("--port", type=int, default=0,
+                         help="TCP port the collector listens on (0 = ephemeral; "
+                              "tcp transport only)")
     collect.add_argument("input", type=Path)
 
     sinfo = subparsers.add_parser(
@@ -322,14 +330,30 @@ def _cmd_collect(args: argparse.Namespace) -> int:
         store_path=str(args.store_path) if args.store_path is not None else None,
         retain_bins=args.retain_bins,
     )
-    transport = SimulatedTransport()
+    if args.port and args.transport != "tcp":
+        raise ValueError("--port only applies to --transport tcp")
+    server: Optional[CollectorServer] = None
+    client: Optional[SiteClient] = None
+    if args.transport == "tcp":
+        server = CollectorServer(port=args.port).start()
+        transport: Transport = server
+    else:
+        transport = SimulatedTransport()
     collector = Collector(schema, transport, config=config)
     if collector.store.durable:
         recovered = collector.reopen()
         if recovered:
             print(f"resumed store with existing sites: {', '.join(recovered)}")
+    if server is not None:
+        client = SiteClient(
+            host=server.host, port=server.port,
+            site=args.site, collector_name=collector.name,
+        )
+        daemon_transport: Transport = client
+    else:
+        daemon_transport = transport
     daemon = FlowtreeDaemon(
-        args.site, schema, transport,
+        args.site, schema, daemon_transport,
         collector_name=collector.name, bin_width=args.bin_width, config=storage,
     )
     if args.input_format == "pcap":
@@ -338,22 +362,25 @@ def _cmd_collect(args: argparse.Namespace) -> int:
         records = read_csv(args.input)
     consumed = daemon.consume_records(records)
     daemon.flush()
+    if client is not None:
+        client.close()
     collector.poll()
     footprint = store_footprint(collector.store)
-    print(
-        render_kv(
-            f"Collected {args.input} into {args.store} store",
-            {
-                "records": consumed,
-                "sites": ", ".join(collector.sites),
-                "bins": {site: len(collector.bins_for(site)) for site in collector.sites},
-                "messages": collector.messages_processed,
-                "payload_size": format_bytes(footprint.payload_bytes),
-                "disk_size": format_bytes(footprint.disk_bytes),
-            },
-        )
-    )
+    report = {
+        "records": consumed,
+        "transport": args.transport,
+        "sites": ", ".join(collector.sites),
+        "bins": {site: len(collector.bins_for(site)) for site in collector.sites},
+        "messages": collector.messages_processed,
+        "payload_size": format_bytes(footprint.payload_bytes),
+        "disk_size": format_bytes(footprint.disk_bytes),
+    }
+    if client is not None:
+        report["wire_size"] = format_bytes(client.bytes_sent())
+    print(render_kv(f"Collected {args.input} into {args.store} store", report))
     collector.close()
+    if server is not None:
+        server.close()
     return 0
 
 

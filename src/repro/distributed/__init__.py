@@ -2,9 +2,11 @@
 
 Per-router daemons summarize NetFlow/IPFIX exports into time-binned
 Flowtrees, ship full or diff-encoded summaries over a byte-accounted
-simulated transport to a central collector, and a query engine plus an
-alert manager provide the operator-facing views: cross-site volume
-queries, drill-down and alarming on significant changes.
+transport — the in-memory simulation or real asyncio TCP
+(:mod:`repro.distributed.net`) — to one or more central collectors, and
+a query engine plus an alert manager provide the operator-facing views:
+cross-site volume queries (scatter/gathered across collectors),
+drill-down and alarming on significant changes.
 """
 
 from repro.distributed.alerting import AlertManager, AlertPolicy
@@ -23,8 +25,14 @@ from repro.distributed.messages import (
     SummaryMessage,
     TransferLog,
 )
+from repro.distributed.net import CollectorServer, NetConfig, SiteClient
 from repro.distributed.query_engine import DistributedQueryEngine
-from repro.distributed.site import Deployment, MonitoringSite
+from repro.distributed.site import (
+    Deployment,
+    DeploymentCloseError,
+    MonitoringSite,
+    site_shard,
+)
 from repro.distributed.stores import (
     MemoryStore,
     SegmentFileStore,
@@ -33,13 +41,19 @@ from repro.distributed.stores import (
     open_store,
 )
 from repro.distributed.timeseries import FlowtreeTimeSeries
-from repro.distributed.transport import SimulatedTransport
+from repro.distributed.transport import SimulatedTransport, Transport
 
 __all__ = [
     "FlowtreeDaemon",
     "DaemonStats",
     "Collector",
     "CollectorConfig",
+    "CollectorServer",
+    "SiteClient",
+    "NetConfig",
+    "Transport",
+    "DeploymentCloseError",
+    "site_shard",
     "TimeSeriesStore",
     "MemoryStore",
     "SegmentFileStore",

@@ -41,7 +41,7 @@ from repro.distributed.stores.base import (
     unpack_ints,
 )
 from repro.distributed.timeseries import FlowtreeTimeSeries
-from repro.distributed.transport import SimulatedTransport
+from repro.distributed.transport import Transport
 from repro.features.schema import FlowSchema
 
 _BIN_WIDTH_KEY = "collector/bin_width"
@@ -111,7 +111,7 @@ class Collector:
     def __init__(
         self,
         schema: FlowSchema,
-        transport: SimulatedTransport,
+        transport: Transport,
         name: str = "collector",
         bin_width: float = 60.0,
         storage_config: Optional[FlowtreeConfig] = None,

@@ -33,7 +33,7 @@ from repro.core.serialization import from_bytes
 from repro.core.sharded import ShardedFlowtree
 from repro.distributed.diffsync import DiffSyncEncoder
 from repro.distributed.messages import SummaryMessage
-from repro.distributed.transport import SimulatedTransport
+from repro.distributed.transport import Transport
 from repro.features.schema import FlowSchema
 from repro.flows.netflow import decode_datagram
 from repro.flows.records import FlowRecord
@@ -74,7 +74,7 @@ class FlowtreeDaemon:
         self,
         site: str,
         schema: FlowSchema,
-        transport: SimulatedTransport,
+        transport: Transport,
         collector_name: str = "collector",
         bin_width: float = 60.0,
         config: Optional[FlowtreeConfig] = None,

@@ -1,0 +1,47 @@
+"""Real network transport: asyncio TCP for site -> collector summaries.
+
+The in-memory :class:`~repro.distributed.transport.SimulatedTransport`
+models the paper's byte-accounting argument; this package carries the
+same binary summary format over actual sockets:
+
+* :class:`CollectorServer` — asyncio TCP server decoding length-prefixed
+  summary frames into collector inboxes (``Collector(schema, server)``),
+* :class:`SiteClient` — bounded-queue, reconnecting sender a daemon uses
+  as its transport (``FlowtreeDaemon(site, schema, client, ...)``),
+* :class:`NetConfig` — the deployment-level knobs (ports, backpressure
+  window, reconnect backoff),
+* :mod:`~repro.distributed.net.framing` — the frame layout and the
+  incremental :class:`~repro.distributed.net.framing.FrameDecoder`.
+
+Both endpoints implement the shared
+:class:`~repro.distributed.transport.Transport` protocol, so deployments
+switch between ``transport="memory"`` and ``transport="tcp"`` purely by
+configuration.
+"""
+
+from repro.distributed.net.client import DEFAULT_MAX_PENDING, SiteClient
+from repro.distributed.net.config import NetConfig
+from repro.distributed.net.framing import (
+    FrameDecoder,
+    PROTOCOL_VERSION,
+    decode_body,
+    encode_frame,
+    encode_hello,
+    encode_summary,
+    encode_summary_body,
+)
+from repro.distributed.net.server import CollectorServer
+
+__all__ = [
+    "CollectorServer",
+    "SiteClient",
+    "NetConfig",
+    "FrameDecoder",
+    "PROTOCOL_VERSION",
+    "DEFAULT_MAX_PENDING",
+    "decode_body",
+    "encode_frame",
+    "encode_hello",
+    "encode_summary",
+    "encode_summary_body",
+]

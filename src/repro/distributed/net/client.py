@@ -1,0 +1,431 @@
+"""Asyncio TCP client shipping one site's summaries to a collector.
+
+:class:`SiteClient` is the send side of the real network transport.  It
+implements the :class:`~repro.distributed.transport.Transport` protocol a
+:class:`~repro.distributed.daemon.FlowtreeDaemon` writes to, so a daemon
+runs unmodified over TCP — ``FlowtreeDaemon(site, schema, client, ...)``.
+
+Delivery machinery:
+
+* **Bounded outbound queue (backpressure)** — ``send()`` encodes the
+  message once and blocks while ``max_pending`` messages are already
+  queued; with a ``send_timeout`` it raises
+  :class:`~repro.core.errors.TransportError` instead of buffering without
+  bound when the collector stalls.
+* **Reconnect with exponential backoff + jitter** — a lost or refused
+  connection never raises into the daemon's export path; the sender
+  retries with capped exponential delays, randomized so a site fleet does
+  not reconnect in lockstep.
+* **At-least-once + resend-on-reconnect** — frames are kept in an
+  unacked backlog until the server's cumulative ack covers them; a new
+  connection first replays the backlog (renumbered, same message bytes).
+  Combined with the collector's ``(site, bin, sequence)`` dedup guard
+  this yields exactly-once *effect* across collector restarts.
+* **Clean drain on close()** — ``close()`` waits until queue and backlog
+  are fully acknowledged before tearing the loop down; ``abort()`` is
+  the non-draining escape hatch.
+
+Byte accounting matches :class:`SimulatedTransport` semantics exactly on
+the payload side (every accepted ``send`` records the message's
+``payload_bytes``) while the overhead column records the *actual* frame
+envelope instead of the simulated constant.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import random
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.core.errors import TransportError
+from repro.distributed.messages import SummaryMessage
+from repro.distributed.net.framing import (
+    SUMMARY_FRAME_ENVELOPE,
+    AckFrame,
+    FrameDecoder,
+    encode_frame,
+    encode_hello,
+    encode_summary,
+    encode_summary_body,
+)
+from repro.distributed.net.runtime import EventLoopThread
+from repro.distributed.transport import TransferAccounting, message_payload_bytes
+
+#: Default bound on queued-but-unsent messages before ``send`` blocks.
+DEFAULT_MAX_PENDING = 256
+
+
+class SiteClient(TransferAccounting):
+    """One site's TCP pipe to its collector (send side of the transport)."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        site: str,
+        collector_name: str = "collector",
+        max_pending: int = DEFAULT_MAX_PENDING,
+        send_timeout: Optional[float] = None,
+        connect_timeout: float = 5.0,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        backoff_jitter: float = 0.5,
+    ) -> None:
+        if max_pending < 1:
+            raise TransportError(f"max_pending must be positive, got {max_pending}")
+        if backoff_base <= 0 or backoff_max < backoff_base:
+            raise TransportError(
+                f"invalid backoff window [{backoff_base}, {backoff_max}]"
+            )
+        super().__init__()
+        self._host = host
+        self._port = port
+        self._site = site
+        self._collector = collector_name
+        self._max_pending = max_pending
+        self._send_timeout = send_timeout
+        self._connect_timeout = connect_timeout
+        self._backoff_base = backoff_base
+        self._backoff_max = backoff_max
+        self._backoff_jitter = backoff_jitter
+        self._known: Set[str] = set()
+        self._runtime: Optional[EventLoopThread] = None
+        self._queue: Optional["asyncio.Queue[bytes]"] = None
+        self._sender: Optional["concurrent.futures.Future[Any]"] = None
+        self._unacked: Deque[bytes] = deque()
+        self._outstanding = 0
+        self._count_lock = threading.Lock()
+        self._closed = False
+        self._stats_lock = threading.Lock()
+        self._stats = {
+            "connects": 0,
+            "connect_failures": 0,
+            "connection_drops": 0,
+            "frames_sent": 0,
+            "frames_resent": 0,
+            "messages_acked": 0,
+        }
+
+    # -- properties -------------------------------------------------------------
+
+    @property
+    def site(self) -> str:
+        """The site endpoint this client sends as."""
+        return self._site
+
+    @property
+    def collector_name(self) -> str:
+        """The collector endpoint this client delivers to."""
+        return self._collector
+
+    @property
+    def outstanding(self) -> int:
+        """Messages accepted by ``send`` and not yet acknowledged."""
+        with self._count_lock:
+            return self._outstanding
+
+    @property
+    def running(self) -> bool:
+        """Whether the sender loop is up."""
+        return self._runtime is not None and self._runtime.running
+
+    def stats(self) -> Dict[str, int]:
+        """Operational counters (connects, drops, resends, acks)."""
+        with self._stats_lock:
+            return dict(self._stats)
+
+    def _bump(self, counter: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            self._stats[counter] += amount
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "SiteClient":
+        """Spin up the sender loop (idempotent; ``send`` also does this lazily).
+
+        The collector does not need to be reachable yet: connection
+        attempts retry with backoff until messages can flow.
+        """
+        if self._closed:
+            raise TransportError(f"site client for {self._site!r} is closed")
+        if self.running:
+            return self
+        runtime = EventLoopThread(name=f"flowtree-site-client:{self._site}")
+        runtime.start()
+        try:
+            self._queue = runtime.run(self._make_queue())
+            self._sender = runtime.schedule(self._run())
+        except BaseException:
+            runtime.stop()
+            raise
+        self._runtime = runtime
+        return self
+
+    async def _make_queue(self) -> "asyncio.Queue[bytes]":
+        return asyncio.Queue(maxsize=self._max_pending)
+
+    def drain(self, timeout: Optional[float] = 30.0) -> None:
+        """Block until every accepted message has been acknowledged.
+
+        Raises :class:`TransportError` when the backlog has not emptied
+        within ``timeout`` seconds (collector down or stalled).
+        """
+        if not self.running:
+            if self.outstanding:
+                raise TransportError(
+                    f"site client for {self._site!r} is not running with "
+                    f"{self.outstanding} messages pending"
+                )
+            return
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self.outstanding:
+            if self._sender is not None and self._sender.done():
+                raise TransportError(
+                    f"sender loop for site {self._site!r} exited with "
+                    f"{self.outstanding} messages pending"
+                )
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TransportError(
+                    f"drain of site {self._site!r} timed out after {timeout}s "
+                    f"with {self.outstanding} messages unacknowledged"
+                )
+            time.sleep(0.005)
+
+    def close(self, timeout: Optional[float] = 30.0) -> None:
+        """Drain, then tear the sender loop down (idempotent).
+
+        A drain failure (collector unreachable) still releases the loop
+        and thread before the :class:`TransportError` propagates.
+        """
+        if self._closed:
+            return
+        error: Optional[TransportError] = None
+        if self.running and self.outstanding:
+            try:
+                self.drain(timeout=timeout)
+            except TransportError as exc:
+                error = exc
+        self._teardown()
+        if error is not None:
+            raise error
+
+    def abort(self) -> None:
+        """Tear down without draining; queued/unacked messages are dropped."""
+        self._teardown()
+
+    def _teardown(self) -> None:
+        self._closed = True
+        runtime = self._runtime
+        self._runtime = None
+        if runtime is not None and runtime.running:
+            if self._sender is not None:
+                self._sender.cancel()
+            runtime.stop()
+        self._sender = None
+        self._queue = None
+
+    def __enter__(self) -> "SiteClient":
+        return self
+
+    def __exit__(self, exc_type: object, exc_value: object, traceback: object) -> None:
+        self.close()
+
+    # -- Transport protocol (send side) -------------------------------------------
+
+    def register(self, name: str) -> None:
+        """Record an endpoint name (the daemon registers site + collector)."""
+        if not name:
+            raise TransportError("endpoint name must be non-empty")
+        self._known.add(name)
+
+    def endpoints(self) -> List[str]:
+        """Names registered on this client."""
+        return sorted(self._known)
+
+    def send(self, source: str, destination: str, message: object) -> None:
+        """Queue one summary for delivery, blocking under backpressure."""
+        if self._closed:
+            raise TransportError(f"site client for {self._site!r} is closed")
+        if source not in self._known:
+            raise TransportError(f"unknown source endpoint {source!r}")
+        if destination not in self._known:
+            raise TransportError(f"unknown destination endpoint {destination!r}")
+        if source != self._site:
+            raise TransportError(
+                f"site client for {self._site!r} cannot send as {source!r}"
+            )
+        if destination != self._collector:
+            raise TransportError(
+                f"site client delivers to {self._collector!r}, not {destination!r}"
+            )
+        payload_bytes = message_payload_bytes(message)
+        if not isinstance(message, SummaryMessage):
+            raise TransportError(
+                f"the TCP transport carries SummaryMessage frames, "
+                f"got {type(message).__name__}"
+            )
+        body = encode_summary_body(message)
+        self.start()
+        with self._count_lock:
+            self._outstanding += 1
+        assert self._runtime is not None
+        try:
+            accepted = self._runtime.run(
+                self._offer(body, self._send_timeout),
+                timeout=None if self._send_timeout is None else self._send_timeout + 5.0,
+            )
+        except BaseException:
+            with self._count_lock:
+                self._outstanding -= 1
+            raise
+        if not accepted:
+            with self._count_lock:
+                self._outstanding -= 1
+            raise TransportError(
+                f"send queue for site {self._site!r} stayed full for "
+                f"{self._send_timeout}s ({self._max_pending} messages pending): "
+                "the collector is stalled or unreachable"
+            )
+        self.record_transfer(
+            source,
+            destination,
+            payload_bytes,
+            SUMMARY_FRAME_ENVELOPE + (len(body) - payload_bytes),
+        )
+
+    async def _offer(self, body: bytes, timeout: Optional[float]) -> bool:
+        assert self._queue is not None
+        if timeout is None:
+            await self._queue.put(body)
+            return True
+        try:
+            await asyncio.wait_for(self._queue.put(body), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    def receive(self, endpoint: str, limit: Optional[int] = None) -> List[Tuple[str, object]]:
+        """Nothing flows collector -> site on this transport (always empty)."""
+        if endpoint not in self._known:
+            raise TransportError(f"unknown endpoint {endpoint!r}")
+        if limit is not None and limit < 0:
+            raise TransportError(f"receive limit must be non-negative, got {limit}")
+        return []
+
+    def pending(self, endpoint: str) -> int:
+        """Messages queued for ``endpoint`` (the unacknowledged backlog)."""
+        if endpoint not in self._known:
+            raise TransportError(f"unknown endpoint {endpoint!r}")
+        return self.outstanding if endpoint == self._collector else 0
+
+    # -- sender loop ----------------------------------------------------------------
+
+    def _backoff_delay(self, attempt: int) -> float:
+        delay = min(self._backoff_max, self._backoff_base * (2 ** (attempt - 1)))
+        return delay * (1.0 + random.random() * self._backoff_jitter)
+
+    async def _run(self) -> None:
+        """Connect, replay backlog, stream the queue; retry forever on loss."""
+        attempt = 0
+        while True:
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(self._host, self._port),
+                    self._connect_timeout,
+                )
+            except (OSError, asyncio.TimeoutError):
+                self._bump("connect_failures")
+                attempt += 1
+                await asyncio.sleep(self._backoff_delay(attempt))
+                continue
+            attempt = 0
+            self._bump("connects")
+            try:
+                await self._session(reader, writer)
+            except (ConnectionError, OSError, TransportError):
+                self._bump("connection_drops")
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+    async def _session(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        """One connection's lifetime: HELLO, backlog replay, then the queue."""
+        assert self._queue is not None
+        writer.write(encode_frame(encode_hello(self._site, self._collector)))
+        state = {"sent": 0, "acked": 0}
+        backlog = list(self._unacked)
+        for body in backlog:
+            state["sent"] += 1
+            writer.write(encode_frame(encode_summary(state["sent"], body)))
+        if backlog:
+            self._bump("frames_resent", len(backlog))
+        await writer.drain()
+
+        reader_task: "asyncio.Future[Any]" = asyncio.ensure_future(
+            self._read_acks(reader, state)
+        )
+        try:
+            while True:
+                get_task: "asyncio.Future[Any]" = asyncio.ensure_future(self._queue.get())
+                done, _ = await asyncio.wait(
+                    {get_task, reader_task}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if get_task in done:
+                    body = get_task.result()
+                    self._unacked.append(body)
+                    state["sent"] += 1
+                    self._bump("frames_sent")
+                    writer.write(encode_frame(encode_summary(state["sent"], body)))
+                if reader_task in done:
+                    if get_task not in done:
+                        get_task.cancel()
+                        try:
+                            salvaged = await get_task
+                            # The get won the race with its own cancellation:
+                            # keep the message — the backlog replays it on
+                            # the next connection in original order.
+                            self._unacked.append(salvaged)
+                        except asyncio.CancelledError:
+                            pass
+                    error = reader_task.exception()
+                    raise error if error is not None else ConnectionResetError(
+                        "server closed the connection"
+                    )
+                await writer.drain()
+        finally:
+            if not reader_task.done():
+                reader_task.cancel()
+            await asyncio.gather(reader_task, return_exceptions=True)
+
+    async def _read_acks(self, reader: asyncio.StreamReader, state: Dict[str, int]) -> None:
+        """Consume cumulative acks; pop covered frames off the backlog."""
+        decoder = FrameDecoder()
+        while True:
+            chunk = await reader.read(4096)
+            if not chunk:
+                raise ConnectionResetError("server closed the connection")
+            for frame in decoder.feed(chunk):
+                if not isinstance(frame, AckFrame):
+                    raise TransportError(
+                        f"unexpected {type(frame).__name__} from server"
+                    )
+                newly = frame.acked - state["acked"]
+                if newly < 0 or newly > len(self._unacked):
+                    raise TransportError(
+                        f"bogus cumulative ack {frame.acked} "
+                        f"(acked {state['acked']}, backlog {len(self._unacked)})"
+                    )
+                state["acked"] = frame.acked
+                for _ in range(newly):
+                    self._unacked.popleft()
+                if newly:
+                    self._bump("messages_acked", newly)
+                    with self._count_lock:
+                        self._outstanding -= newly

@@ -1,0 +1,67 @@
+"""Configuration of a TCP deployment's network layer.
+
+One :class:`NetConfig` parameterizes every server and client a
+:class:`~repro.distributed.site.Deployment` builds in ``transport="tcp"``
+mode: bind address and ports on the collector side, queue bound /
+backpressure and reconnect backoff on the site side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.distributed.net.client import DEFAULT_MAX_PENDING
+
+
+@dataclass(frozen=True)
+class NetConfig:
+    """Knobs of the TCP transport (used by ``Deployment(transport="tcp")``).
+
+    Attributes:
+        host: address the collector servers bind and clients dial.
+        ports: one listening port per collector (``None`` = all ephemeral;
+            port ``0`` picks a free port, readable back from the server).
+        max_pending: per-site bound on queued-but-unacked messages before
+            ``send`` blocks (backpressure window).
+        send_timeout: how long a blocked ``send`` waits before raising
+            (``None`` = block until the queue drains).
+        connect_timeout: per-attempt TCP connect timeout.
+        backoff_base: first reconnect delay; doubles per failed attempt.
+        backoff_max: cap on the reconnect delay.
+        drain_timeout: how long ``run()``/``close()`` wait for all
+            summaries to be acknowledged before raising.
+    """
+
+    host: str = "127.0.0.1"
+    ports: Optional[Sequence[int]] = None
+    max_pending: int = DEFAULT_MAX_PENDING
+    send_timeout: Optional[float] = None
+    connect_timeout: float = 5.0
+    backoff_base: float = 0.05
+    backoff_max: float = 2.0
+    drain_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ConfigurationError(f"max_pending must be positive, got {self.max_pending}")
+        if self.backoff_base <= 0 or self.backoff_max < self.backoff_base:
+            raise ConfigurationError(
+                f"invalid backoff window [{self.backoff_base}, {self.backoff_max}]"
+            )
+        if self.drain_timeout <= 0:
+            raise ConfigurationError(
+                f"drain_timeout must be positive, got {self.drain_timeout}"
+            )
+
+    def port_for(self, index: int) -> int:
+        """The configured port of collector ``index`` (0 = ephemeral)."""
+        if self.ports is None:
+            return 0
+        if index >= len(self.ports):
+            raise ConfigurationError(
+                f"NetConfig supplies {len(self.ports)} ports but collector "
+                f"index {index} was requested"
+            )
+        return self.ports[index]

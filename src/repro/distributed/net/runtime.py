@@ -1,0 +1,96 @@
+"""A dedicated asyncio event loop on a background thread.
+
+The distributed layer's drivers (deployments, the CLI, tests, benchmarks)
+are synchronous; the TCP transport is asyncio.  Both
+:class:`~repro.distributed.net.CollectorServer` and
+:class:`~repro.distributed.net.SiteClient` own one
+:class:`EventLoopThread`: coroutines run on the loop thread, the calling
+thread blocks on ``concurrent.futures`` handles, and shutdown cancels
+whatever is still in flight before the loop closes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+from typing import Any, Coroutine, Optional
+
+from repro.core.errors import TransportError
+
+
+class EventLoopThread:
+    """An asyncio event loop running forever on a daemon thread."""
+
+    def __init__(self, name: str = "flowtree-net") -> None:
+        self._name = name
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the loop thread is alive and accepting coroutines."""
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        """The running loop (raises when stopped)."""
+        if self._loop is None or not self.running:
+            raise TransportError(f"event loop thread {self._name!r} is not running")
+        return self._loop
+
+    def start(self) -> None:
+        """Spawn the thread and wait until the loop is accepting work."""
+        if self.running:
+            raise TransportError(f"event loop thread {self._name!r} already running")
+        loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def runner() -> None:
+            asyncio.set_event_loop(loop)
+            loop.call_soon(started.set)
+            loop.run_forever()
+            # Loop was stopped: cancel stragglers so transports and server
+            # handlers unwind their finally blocks before the loop closes.
+            leftovers = asyncio.all_tasks(loop)
+            for task in leftovers:
+                task.cancel()
+            if leftovers:
+                loop.run_until_complete(
+                    asyncio.gather(*leftovers, return_exceptions=True)
+                )
+            loop.close()
+
+        thread = threading.Thread(target=runner, name=self._name, daemon=True)
+        thread.start()
+        if not started.wait(timeout=5.0):
+            raise TransportError(f"event loop thread {self._name!r} failed to start")
+        self._loop = loop
+        self._thread = thread
+
+    def schedule(
+        self, coro: Coroutine[Any, Any, Any]
+    ) -> "concurrent.futures.Future[Any]":
+        """Submit a coroutine to the loop; returns its thread-safe future."""
+        return asyncio.run_coroutine_threadsafe(coro, self.loop)
+
+    def run(self, coro: Coroutine[Any, Any, Any], timeout: Optional[float] = None) -> Any:
+        """Run a coroutine on the loop thread and wait for its result."""
+        future = self.schedule(coro)
+        try:
+            return future.result(timeout)
+        except concurrent.futures.TimeoutError:
+            future.cancel()
+            raise TransportError(
+                f"operation on event loop {self._name!r} timed out after {timeout}s"
+            ) from None
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the loop and join the thread (idempotent)."""
+        thread, loop = self._thread, self._loop
+        self._thread = None
+        self._loop = None
+        if thread is None or loop is None or not thread.is_alive():
+            return
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout)

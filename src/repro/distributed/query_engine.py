@@ -2,65 +2,154 @@
 
 The operator-facing layer of the Fig. 1 system: it accepts
 :class:`~repro.distributed.messages.QueryRequest` objects (or the typed
-convenience methods), runs them against the collector's per-site time
+convenience methods), runs them against the collectors' per-site time
 series, and returns structured responses with per-site and per-bin
 breakdowns — the "total volume of traffic sent by one of its peers to all
 of five ISP's sites in the last 24 hours" query from the paper's
 introduction, plus drill-down and top-k.
+
+The engine spans one *or several* collectors.  With several (sites
+partitioned across collectors by the deployment's CRC-32 placement), a
+query scatters to every collector holding relevant sites — concurrently,
+each collector being its own store — and gathers the partial answers with
+a per-key combiner.  Site partitions are disjoint, so combining is plain
+summation of totals and union of per-site maps, and the result is
+byte-identical to the single-collector answer over the same summaries.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.errors import QueryError
 from repro.core.estimator import DrilldownStep, children_of, drill_down
+from repro.core.flowtree import Flowtree
 from repro.core.key import FlowKey
+from repro.core.operators import merge_all
 from repro.distributed.collector import Collector
 from repro.distributed.messages import QueryRequest, QueryResponse
 
 
-class DistributedQueryEngine:
-    """Executes hierarchical flow queries across sites and time bins."""
+def _query_collector(
+    collector: Collector,
+    site_names: List[str],
+    keys: List[FlowKey],
+    start_bin: Optional[int],
+    end_bin: Optional[int],
+    metric: str,
+) -> Tuple[Dict[FlowKey, int], Dict[str, Dict[FlowKey, int]]]:
+    """One collector's partial answer of a scattered ``estimate_many``."""
+    return collector.estimate_many(
+        keys, sites=site_names, start_bin=start_bin, end_bin=end_bin, metric=metric
+    )
 
-    def __init__(self, collector: Collector) -> None:
-        self._collector = collector
+
+class DistributedQueryEngine:
+    """Executes hierarchical flow queries across sites, bins and collectors."""
+
+    def __init__(self, collectors: Union[Collector, Sequence[Collector]]) -> None:
+        if isinstance(collectors, Collector):
+            collectors = [collectors]
+        if not collectors:
+            raise QueryError("the query engine needs at least one collector")
+        self._collectors: List[Collector] = list(collectors)
         self._next_request_id = 1
+
+    # -- topology ----------------------------------------------------------------------
+
+    @property
+    def collectors(self) -> List[Collector]:
+        """Every collector this engine queries."""
+        return list(self._collectors)
+
+    @property
+    def sites(self) -> List[str]:
+        """All sites any collector has received summaries from."""
+        names = {site for collector in self._collectors for site in collector.sites}
+        return sorted(names)
+
+    def _site_map(self) -> Dict[str, Collector]:
+        """``site -> owning collector`` (first collector wins on overlap)."""
+        owners: Dict[str, Collector] = {}
+        for collector in self._collectors:
+            for site in collector.sites:
+                owners.setdefault(site, collector)
+        return owners
+
+    def _resolve_sites(self, sites: Optional[Sequence[str]]) -> Dict[str, Collector]:
+        """The ``site -> collector`` selection for a query (validated)."""
+        owners = self._site_map()
+        if not owners:
+            raise QueryError("no collector has received any summaries yet")
+        if sites is None:
+            return owners
+        selected: Dict[str, Collector] = {}
+        for site in sites:
+            owner = owners.get(site)
+            if owner is None:
+                raise QueryError(f"no collector holds summaries from site {site!r}")
+            selected[site] = owner
+        return selected
+
+    def _scatter(
+        self, per_collector: Dict[int, List[str]]
+    ) -> List[Tuple[Collector, List[str]]]:
+        """Collector-ordered ``(collector, its selected sites)`` pairs."""
+        return [
+            (self._collectors[index], site_names)
+            for index, site_names in sorted(per_collector.items())
+        ]
+
+    def _group_by_collector(self, owners: Dict[str, Collector]) -> Dict[int, List[str]]:
+        grouped: Dict[int, List[str]] = {}
+        for site, collector in owners.items():
+            grouped.setdefault(self._collectors.index(collector), []).append(site)
+        for site_names in grouped.values():
+            site_names.sort()
+        return grouped
+
+    def _schema_key(self, key_wire: Sequence[str]) -> FlowKey:
+        for collector in self._collectors:
+            if collector.sites:
+                schema = collector.site_series(collector.sites[0]).schema
+                return FlowKey.from_wire(schema, tuple(key_wire))
+        raise QueryError("no collector has received any summaries yet")
 
     # -- request/response interface ----------------------------------------------------
 
     def execute(self, request: QueryRequest) -> QueryResponse:
         """Run a :class:`QueryRequest` and return its :class:`QueryResponse`."""
-        sites = list(request.sites) if request.sites else self._collector.sites
-        if not sites:
-            raise QueryError("the collector has not received any summaries yet")
-        schema = self._collector.site_series(sites[0]).schema
-        key = FlowKey.from_wire(schema, request.key_wire)
-        total, per_site = self._collector.estimate(
-            key,
-            sites=request.sites,
+        owners = self._resolve_sites(request.sites)
+        key = self._schema_key(request.key_wire)
+        totals, per_site_many = self.estimate_many(
+            [key],
+            sites=sorted(owners),
             start_bin=request.start_bin,
             end_bin=request.end_bin,
             metric=request.metric,
         )
-        per_bin = self._per_bin(key, request)
+        per_site = {site: values[key] for site, values in per_site_many.items()}
+        per_bin = self._per_bin(key, request, owners)
         exact = all(
             key in tree
-            for site in (request.sites or self._collector.sites)
-            for _, tree in self._collector.site_series(site).bins()
+            for site, collector in owners.items()
+            for _, tree in collector.site_series(site).bins()
         )
         return QueryResponse(
             request_id=request.request_id,
-            total=total,
+            total=totals[key],
             per_site=per_site,
             per_bin=per_bin,
             exact=exact,
         )
 
-    def _per_bin(self, key: FlowKey, request: QueryRequest) -> Dict[int, int]:
+    def _per_bin(
+        self, key: FlowKey, request: QueryRequest, owners: Dict[str, Collector]
+    ) -> Dict[int, int]:
         per_bin: Dict[int, int] = {}
-        for site in request.sites or self._collector.sites:
-            series = self._collector.site_series(site)
+        for site, collector in owners.items():
+            series = collector.site_series(site)
             for index, value in series.series(key, metric=request.metric).items():
                 if request.start_bin is not None and index < request.start_bin:
                     continue
@@ -68,6 +157,50 @@ class DistributedQueryEngine:
                     continue
                 per_bin[index] = per_bin.get(index, 0) + value
         return per_bin
+
+    # -- scatter/gather estimation -------------------------------------------------------
+
+    def estimate_many(
+        self,
+        keys: Sequence[FlowKey],
+        sites: Optional[Sequence[str]] = None,
+        start_bin: Optional[int] = None,
+        end_bin: Optional[int] = None,
+        metric: str = "packets",
+    ) -> Tuple[Dict[FlowKey, int], Dict[str, Dict[FlowKey, int]]]:
+        """``(totals, per_site)`` popularity of many keys, gathered over collectors.
+
+        Scatters the key batch to every collector owning a selected site
+        (concurrently when there are several collectors) and combines the
+        partial answers per key.  The site partitions are disjoint, so the
+        combiner is summation for totals and union for the per-site map;
+        gathering follows collector order, keeping results deterministic.
+        """
+        key_list = list(keys)
+        owners = self._resolve_sites(sites)
+        grouped = self._scatter(self._group_by_collector(owners))
+        totals: Dict[FlowKey, int] = {key: 0 for key in key_list}
+        per_site: Dict[str, Dict[FlowKey, int]] = {}
+        if len(grouped) <= 1:
+            partials = [
+                _query_collector(collector, site_names, key_list, start_bin, end_bin, metric)
+                for collector, site_names in grouped
+            ]
+        else:
+            with ThreadPoolExecutor(max_workers=len(grouped)) as pool:
+                futures = [
+                    pool.submit(
+                        _query_collector, collector, site_names,
+                        key_list, start_bin, end_bin, metric,
+                    )
+                    for collector, site_names in grouped
+                ]
+                partials = [future.result() for future in futures]
+        for partial_totals, partial_per_site in partials:
+            for key, value in partial_totals.items():
+                totals[key] += value
+            per_site.update(partial_per_site)
+        return totals, per_site
 
     # -- typed convenience queries -------------------------------------------------------
 
@@ -90,6 +223,23 @@ class DistributedQueryEngine:
         )
         return self.execute(request)
 
+    def _merged(
+        self,
+        sites: Optional[Sequence[str]],
+        start_bin: Optional[int],
+        end_bin: Optional[int],
+    ) -> Flowtree:
+        """One summary over the chosen sites/bins, gathered across collectors."""
+        owners = self._resolve_sites(sites)
+        trees = []
+        for site in sorted(owners):
+            trees.extend(
+                owners[site].site_series(site).trees_in_range(start_bin, end_bin)
+            )
+        if not trees:
+            raise QueryError("no summaries match the requested sites/bins")
+        return merge_all(trees)
+
     def top_aggregates(
         self,
         n: int = 10,
@@ -99,7 +249,7 @@ class DistributedQueryEngine:
         metric: str = "packets",
     ) -> List[Tuple[FlowKey, int]]:
         """The ``n`` most popular kept aggregates over the merged view."""
-        merged = self._collector.merged(sites=sites, start_bin=start_bin, end_bin=end_bin)
+        merged = self._merged(sites, start_bin, end_bin)
         return merged.top(n, metric=metric)
 
     def breakdown(
@@ -113,7 +263,7 @@ class DistributedQueryEngine:
         metric: str = "packets",
     ) -> List[Tuple[FlowKey, int]]:
         """One drill-down level below a key along one feature (merged view)."""
-        merged = self._collector.merged(sites=sites, start_bin=start_bin, end_bin=end_bin)
+        merged = self._merged(sites, start_bin, end_bin)
         key = FlowKey.from_wire(merged.schema, tuple(key_wire))
         return children_of(merged, key, feature_index, step=step, metric=metric)
 
@@ -128,7 +278,7 @@ class DistributedQueryEngine:
         dominance: float = 0.5,
     ) -> List[DrilldownStep]:
         """Automated drill-down (paper intro: "is it one IP, one /24, ...?")."""
-        merged = self._collector.merged(sites=sites, start_bin=start_bin, end_bin=end_bin)
+        merged = self._merged(sites, start_bin, end_bin)
         key = FlowKey.from_wire(merged.schema, tuple(key_wire))
         return drill_down(
             merged, key, feature_index, metric=metric, dominance=dominance
@@ -142,14 +292,11 @@ class DistributedQueryEngine:
         end_bin: Optional[int] = None,
     ) -> Dict[str, int]:
         """Per-site popularity of one key (the "which site is affected?" view)."""
-        if not self._collector.sites:
-            raise QueryError("the collector has not received any summaries yet")
-        schema = self._collector.site_series(self._collector.sites[0]).schema
-        key = FlowKey.from_wire(schema, tuple(key_wire))
-        _, per_site = self._collector.estimate(
-            key, start_bin=start_bin, end_bin=end_bin, metric=metric
+        key = self._schema_key(tuple(key_wire))
+        _, per_site_many = self.estimate_many(
+            [key], start_bin=start_bin, end_bin=end_bin, metric=metric
         )
-        return per_site
+        return {site: values[key] for site, values in per_site_many.items()}
 
     def _allocate_id(self) -> int:
         request_id = self._next_request_id

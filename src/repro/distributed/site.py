@@ -2,16 +2,32 @@
 
 A :class:`MonitoringSite` bundles a traffic source (any iterable of flow or
 packet records) with the daemon that summarizes it.  :class:`Deployment`
-wires several sites, one transport and one collector together and drives a
-replay — the five-site ISP of the paper's Fig. 1 in a dozen lines, which is
-what the multi-site example and the FIG1 benchmark use.
+wires several sites, a transport and one or more collectors together and
+drives a replay — the five-site ISP of the paper's Fig. 1 in a dozen
+lines, which is what the multi-site example and the FIG1 benchmark use.
+
+The transport is selected by configuration:
+
+* ``transport="memory"`` (default) — one shared
+  :class:`~repro.distributed.transport.SimulatedTransport`; instant
+  delivery, exact byte accounting, no sockets.
+* ``transport="tcp"`` — one
+  :class:`~repro.distributed.net.CollectorServer` per collector and one
+  :class:`~repro.distributed.net.SiteClient` per site, carrying the same
+  binary summaries as length-prefixed frames over localhost or a real
+  network (knobs via :class:`~repro.distributed.net.NetConfig`).
+
+With ``collectors > 1`` sites are partitioned across collectors by the
+same CRC-32 placement the core sharding uses (:func:`site_shard`), and
+the deployment's query engine scatter/gathers across the partitions.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import zlib
+from dataclasses import dataclass
 from types import TracebackType
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import FlowtreeConfig
 from repro.core.errors import DaemonError
@@ -19,9 +35,39 @@ from repro.distributed.alerting import AlertManager, AlertPolicy
 from repro.distributed.collector import Collector, CollectorConfig
 from repro.distributed.daemon import DEFAULT_BATCH_SIZE, FlowtreeDaemon
 from repro.distributed.messages import Alert
+from repro.distributed.net import CollectorServer, NetConfig, SiteClient
 from repro.distributed.query_engine import DistributedQueryEngine
-from repro.distributed.transport import SimulatedTransport
+from repro.distributed.transport import SimulatedTransport, Transport
 from repro.features.schema import FlowSchema
+
+TRANSPORT_KINDS = ("memory", "tcp")
+
+
+def site_shard(site: str, collectors: int) -> int:
+    """Which collector a site reports to: CRC-32 of the site name, modulo.
+
+    The same stable placement rule the core uses for subtree sharding
+    (:func:`repro.core.sharded.shard_index`), applied to site names: no
+    coordination, no reassignment when sites come and go.
+    """
+    if collectors < 1:
+        raise DaemonError(f"a deployment needs at least one collector, got {collectors}")
+    if collectors == 1:
+        return 0
+    return zlib.crc32(site.encode("utf-8")) % collectors
+
+
+class DeploymentCloseError(DaemonError):
+    """Several components failed while closing a deployment.
+
+    ``errors`` holds every ``(component, exception)`` pair in close order;
+    the first failure is the ``__cause__``.
+    """
+
+    def __init__(self, errors: Sequence[Tuple[str, BaseException]]) -> None:
+        detail = "; ".join(f"{label}: {exc!r}" for label, exc in errors)
+        super().__init__(f"{len(errors)} components failed during close: {detail}")
+        self.errors: List[Tuple[str, BaseException]] = list(errors)
 
 
 @dataclass
@@ -48,7 +94,7 @@ class MonitoringSite:
 
 
 class Deployment:
-    """A full Fig. 1 deployment: sites + transport + collector + query engine."""
+    """A full Fig. 1 deployment: sites + transport + collector(s) + query engine."""
 
     def __init__(
         self,
@@ -60,56 +106,163 @@ class Deployment:
         alert_policy: Optional[AlertPolicy] = None,
         daemon_workers: int = 0,
         collector_config: Optional[CollectorConfig] = None,
+        transport: str = "memory",
+        collectors: int = 1,
+        net: Optional[NetConfig] = None,
     ) -> None:
         """``daemon_workers > 0`` gives every site's daemon that many shard
         worker processes (pipelined bin export); ``0`` keeps the daemons
         single-process.  Worker deployments should be :meth:`close`\\ d (or
         used as a context manager) so the processes are reaped.
-        ``collector_config`` selects the collector's storage backend and
-        retention (its ``bin_width`` must match the deployment's)."""
+        ``collector_config`` selects the collectors' storage backend and
+        retention (its ``bin_width`` must match the deployment's).
+        ``transport`` selects the network (``"memory"`` or ``"tcp"``),
+        ``collectors`` how many collectors sites are partitioned across,
+        and ``net`` the TCP knobs (ports, backpressure, backoff)."""
         if not site_names:
             raise DaemonError("a deployment needs at least one site")
+        if transport not in TRANSPORT_KINDS:
+            raise DaemonError(
+                f"transport must be one of {TRANSPORT_KINDS}, got {transport!r}"
+            )
+        if collectors < 1:
+            raise DaemonError(f"a deployment needs at least one collector, got {collectors}")
+        if net is not None and transport != "tcp":
+            raise DaemonError("net configuration only applies to transport='tcp'")
         if collector_config is not None and collector_config.bin_width != bin_width:
             raise DaemonError(
                 f"collector_config.bin_width {collector_config.bin_width} does not "
                 f"match the deployment bin_width {bin_width}"
             )
+        if collectors > 1 and collector_config is not None and collector_config.store != "memory":
+            raise DaemonError(
+                "durable collector stores are single-collector only: every collector "
+                "would open the same store_path; deploy with collectors=1"
+            )
         self._schema = schema
-        self._transport = SimulatedTransport()
-        self._collector = Collector(
-            schema, self._transport, bin_width=bin_width, config=collector_config
+        self._transport_kind = transport
+        self._net = net if net is not None else NetConfig()
+        collector_names = (
+            ["collector"] if collectors == 1
+            else [f"collector-{index}" for index in range(collectors)]
         )
+        self._servers: List[CollectorServer] = []
+        self._clients: Dict[str, SiteClient] = {}
+        self._shared_transport: Optional[SimulatedTransport] = None
+        self._collectors: List[Collector] = []
+        collector_transports: List[Transport] = []
+        if transport == "memory":
+            self._shared_transport = SimulatedTransport()
+            collector_transports = [self._shared_transport for _ in collector_names]
+        else:
+            for index in range(collectors):
+                server = CollectorServer(
+                    host=self._net.host, port=self._net.port_for(index)
+                )
+                server.start()
+                self._servers.append(server)
+                collector_transports.append(server)
+        for name, collector_transport in zip(collector_names, collector_transports):
+            self._collectors.append(
+                Collector(
+                    schema,
+                    collector_transport,
+                    name=name,
+                    bin_width=bin_width,
+                    config=collector_config,
+                )
+            )
         self._sites: Dict[str, MonitoringSite] = {}
+        self._owners: Dict[str, int] = {}
         for name in site_names:
+            shard = site_shard(name, collectors)
+            self._owners[name] = shard
+            owner = self._collectors[shard]
+            if transport == "memory":
+                assert self._shared_transport is not None
+                site_transport: Transport = self._shared_transport
+            else:
+                server = self._servers[shard]
+                client = SiteClient(
+                    host=server.host,
+                    port=server.port,
+                    site=name,
+                    collector_name=owner.name,
+                    max_pending=self._net.max_pending,
+                    send_timeout=self._net.send_timeout,
+                    connect_timeout=self._net.connect_timeout,
+                    backoff_base=self._net.backoff_base,
+                    backoff_max=self._net.backoff_max,
+                )
+                self._clients[name] = client
+                site_transport = client
             daemon = FlowtreeDaemon(
                 site=name,
                 schema=schema,
-                transport=self._transport,
-                collector_name=self._collector.name,
+                transport=site_transport,
+                collector_name=owner.name,
                 bin_width=bin_width,
                 config=daemon_config,
                 use_diffs=use_diffs,
                 workers=daemon_workers,
             )
             self._sites[name] = MonitoringSite(name=name, daemon=daemon)
-        self._engine = DistributedQueryEngine(self._collector)
+        self._engine = DistributedQueryEngine(self._collectors)
         self._alerts = AlertManager(alert_policy)
 
     # -- accessors ---------------------------------------------------------------
 
     @property
+    def transport_kind(self) -> str:
+        """``"memory"`` or ``"tcp"``."""
+        return self._transport_kind
+
+    @property
     def transport(self) -> SimulatedTransport:
-        """The simulated network (for byte accounting)."""
-        return self._transport
+        """The simulated network (memory deployments only; for byte accounting)."""
+        if self._shared_transport is None:
+            raise DaemonError(
+                "a tcp deployment has no shared transport; use site_transport(name) "
+                "for a site's client or servers for the collector side"
+            )
+        return self._shared_transport
+
+    def site_transport(self, name: str) -> Transport:
+        """The transport a site's daemon sends through (client or shared)."""
+        self.site(name)  # validates the name
+        if self._transport_kind == "memory":
+            assert self._shared_transport is not None
+            return self._shared_transport
+        return self._clients[name]
+
+    @property
+    def servers(self) -> List[CollectorServer]:
+        """The TCP servers, one per collector (empty for memory deployments)."""
+        return list(self._servers)
+
+    @property
+    def collectors(self) -> List[Collector]:
+        """All collectors, in shard order."""
+        return list(self._collectors)
 
     @property
     def collector(self) -> Collector:
-        """The central collector."""
-        return self._collector
+        """The central collector (single-collector deployments only)."""
+        if len(self._collectors) != 1:
+            raise DaemonError(
+                f"this deployment shards sites across {len(self._collectors)} "
+                "collectors; use .collectors or collector_for(site)"
+            )
+        return self._collectors[0]
+
+    def collector_for(self, site: str) -> Collector:
+        """The collector a site reports to (CRC-32 placement)."""
+        self.site(site)  # validates the name
+        return self._collectors[self._owners[site]]
 
     @property
     def query_engine(self) -> DistributedQueryEngine:
-        """Query interface over the collector."""
+        """Query interface over all collectors (scatter/gather)."""
         return self._engine
 
     @property
@@ -142,16 +295,39 @@ class Deployment:
     def run(self, poll: bool = True, scan_alerts: bool = True) -> Dict[str, int]:
         """Replay every site, deliver summaries, and (optionally) scan for alerts.
 
-        Returns the number of records each site consumed.
+        TCP deployments drain every site's client before polling, so all
+        emitted summaries are acknowledged server-side first.  Returns the
+        number of records each site consumed.
         """
         consumed = {}
         for name in self.site_names:
             consumed[name] = self.site(name).replay()
         if poll:
-            self._collector.poll()
+            self.drain()
+            for collector in self._collectors:
+                collector.poll()
         if poll and scan_alerts:
-            self._alerts.scan_collector(self._collector)
+            for collector in self._collectors:
+                self._alerts.scan_collector(collector)
         return consumed
+
+    def drain(self) -> None:
+        """Block until every in-flight summary is acknowledged (tcp only)."""
+        for name in self.site_names:
+            client = self._clients.get(name)
+            if client is not None:
+                client.drain(timeout=self._net.drain_timeout)
+
+    def restart_collector_servers(self) -> None:
+        """Bounce every TCP server on its bound port (crash/restart drill).
+
+        Live connections drop; clients reconnect with backoff and resend
+        their unacked backlog, deduplicated by the collectors' sequence
+        guards — the delivered stream stays exactly-once.
+        """
+        for server in self._servers:
+            server.stop()
+            server.start()
 
     def alerts(self) -> List[Alert]:
         """All alerts raised during the replay."""
@@ -162,26 +338,41 @@ class Deployment:
         return {name: self.daemon(name).worker_stats() for name in self.site_names}
 
     def close(self) -> None:
-        """Flush every daemon and shut their worker pools down (idempotent).
+        """Flush daemons, drain clients, poll and close collectors (idempotent).
 
-        Every site is closed even if an earlier one fails mid-flush; the
-        first failure is re-raised once the rest are shut down.
+        Every component is closed even when earlier ones fail; a single
+        failure is re-raised as-is, several are wrapped in a
+        :class:`DeploymentCloseError` listing all of them.
         """
-        first_error: Optional[BaseException] = None
+        errors: List[Tuple[str, BaseException]] = []
         for name in self.site_names:
             try:
                 self.daemon(name).close()
             except Exception as exc:
-                if first_error is None:
-                    first_error = exc
-        try:
-            self._collector.poll()
-            self._collector.close()
-        except Exception as exc:
-            if first_error is None:
-                first_error = exc
-        if first_error is not None:
-            raise first_error
+                errors.append((f"daemon {name!r}", exc))
+        for name in self.site_names:
+            client = self._clients.get(name)
+            if client is None:
+                continue
+            try:
+                client.close(timeout=self._net.drain_timeout)
+            except Exception as exc:
+                errors.append((f"client {name!r}", exc))
+        for collector in self._collectors:
+            try:
+                collector.poll()
+                collector.close()
+            except Exception as exc:
+                errors.append((f"collector {collector.name!r}", exc))
+        for index, server in enumerate(self._servers):
+            try:
+                server.close()
+            except Exception as exc:
+                errors.append((f"server {index}", exc))
+        if len(errors) == 1:
+            raise errors[0][1]
+        if errors:
+            raise DeploymentCloseError(errors) from errors[0][1]
 
     def __enter__(self) -> "Deployment":
         return self
@@ -195,8 +386,12 @@ class Deployment:
         self.close()
 
     def transfer_bytes(self) -> int:
-        """Total bytes shipped from daemons to the collector (incl. framing)."""
+        """Total bytes shipped from daemons to the collectors (incl. framing)."""
+        if self._shared_transport is not None:
+            return sum(
+                self._shared_transport.bytes_sent(source=name)
+                for name in self.site_names
+            )
         return sum(
-            self._transport.bytes_sent(source=name, destination=self._collector.name)
-            for name in self.site_names
+            self._clients[name].bytes_sent(source=name) for name in self.site_names
         )

@@ -88,6 +88,56 @@ class TestTransport:
         assert len(transport.receive("b", limit=2)) == 2
         assert transport.pending("b") == 3
 
+    def test_negative_receive_limit_raises(self):
+        transport = SimulatedTransport()
+        transport.register("a")
+        with pytest.raises(TransportError, match="non-negative"):
+            transport.receive("a", limit=-1)
+
+    def test_channel_log_reads_do_not_pollute_accounting(self):
+        transport = SimulatedTransport()
+        transport.register("a")
+        transport.register("b")
+        log = transport.channel_log("a", "b")  # never-used channel
+        assert log.messages == 0
+        assert transport.per_channel() == {}
+        assert transport.total_log().messages == 0
+        # mutating the placeholder must not leak into the table either
+        log.record(100, 10)
+        assert transport.per_channel() == {}
+        assert transport.bytes_sent() == 0
+
+    def test_unsized_message_raises_instead_of_charging_zero(self):
+        transport = SimulatedTransport()
+        transport.register("a")
+        transport.register("b")
+        with pytest.raises(TransportError, match="cannot size"):
+            transport.send("a", "b", "a raw string")
+        with pytest.raises(TransportError, match="cannot size"):
+            transport.send("a", "b", object())
+        assert transport.pending("b") == 0
+        assert transport.bytes_sent() == 0
+
+    def test_invalid_payload_bytes_attribute_raises(self):
+        class Lying:
+            payload_bytes = -5
+
+        transport = SimulatedTransport()
+        transport.register("a")
+        transport.register("b")
+        with pytest.raises(TransportError, match="invalid"):
+            transport.send("a", "b", Lying())
+
+    def test_raw_bytes_payload_is_sized_directly(self):
+        class Blob:
+            payload = b"\x00" * 37
+
+        transport = SimulatedTransport()
+        transport.register("a")
+        transport.register("b")
+        transport.send("a", "b", Blob())
+        assert transport.channel_log("a", "b").payload_bytes == 37
+
 
 class TestDiffSync:
     def _tree(self, pairs):
@@ -256,10 +306,13 @@ class TestDaemonAndCollector:
         assert collector.merged().total_counters().packets == 1_000
 
     def test_collector_rejects_unknown_message(self):
+        class SizedButWrong:
+            payload_bytes = 12
+
         transport = SimulatedTransport()
         collector = Collector(SCHEMA_2F_SRC_DST, transport)
         transport.register("x")
-        transport.send("x", collector.name, "not a summary")
+        transport.send("x", collector.name, SizedButWrong())
         with pytest.raises(DaemonError):
             collector.poll()
 
