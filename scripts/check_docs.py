@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Execute the documentation: run code fences, resolve intra-repo links.
+
+The repo's markdown (README.md, docs/*.md) is normative — the wire-format
+spec in particular documents byte layouts that peers implement against —
+so CI runs this script to keep the prose honest:
+
+* every ``python`` code fence is executed (``PYTHONPATH=src``, repo root
+  as the working directory) and must exit 0;
+* every ``bash``/``sh``/``console`` code fence is executed line by line
+  (``$ `` prompts stripped, comment lines skipped); ``flowtree ...``
+  invocations are rewritten to ``python -m repro.cli ...`` so the check
+  does not depend on an installed entry point;
+* every intra-repo markdown link must point at a file or directory that
+  exists (external ``http(s)``/``mailto`` links and pure ``#fragment``
+  anchors are not checked).
+
+Opting a fence out: annotate it as a non-runnable language (```text) or
+precede it with a ``<!-- check-docs: skip -->`` comment line — used for
+illustrative byte-layout pseudocode and for commands whose side effects
+do not belong in CI (long benchmarks, network daemons).
+
+Exit codes: 0 all fences ran and all links resolve, 1 failures, 2 usage
+error.  This mirrors flowlint's convention.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Fence languages that are executed; anything else is documentation-only.
+RUNNABLE = {"python", "bash", "sh", "console"}
+
+SKIP_MARKER = "<!-- check-docs: skip -->"
+
+_FENCE_OPEN = re.compile(r"^```([A-Za-z0-9_+-]*)\s*$")
+#: Inline markdown links; reference-style links are rare enough here not
+#: to bother with.  Images share the syntax (leading ``!`` is irrelevant).
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Seconds one fence (or one shell line) may run before it counts as hung.
+TIMEOUT = 240
+
+
+def extract_fences(text: str) -> List[Tuple[int, str, str, bool]]:
+    """``(line_number, language, body, skipped)`` for every code fence."""
+    fences = []
+    lines = text.splitlines()
+    index = 0
+    skip_next = False
+    while index < len(lines):
+        stripped = lines[index].strip()
+        if stripped == SKIP_MARKER:
+            skip_next = True
+            index += 1
+            continue
+        match = _FENCE_OPEN.match(stripped)
+        if match is None:
+            if stripped:
+                skip_next = False
+            index += 1
+            continue
+        language = match.group(1).lower()
+        start = index + 1
+        body_lines = []
+        index += 1
+        while index < len(lines) and lines[index].strip() != "```":
+            body_lines.append(lines[index])
+            index += 1
+        index += 1   # closing fence
+        fences.append((start, language, "\n".join(body_lines), skip_next))
+        skip_next = False
+    return fences
+
+
+def _run_env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    return env
+
+
+def run_python_fence(body: str, workdir: Path) -> Tuple[bool, str]:
+    result = subprocess.run(
+        [sys.executable, "-c", body],
+        cwd=workdir, env=_run_env(),
+        capture_output=True, text=True, timeout=TIMEOUT,
+    )
+    return result.returncode == 0, (result.stderr or result.stdout).strip()
+
+
+def shell_commands(body: str, language: str) -> List[str]:
+    """The executable command lines of one bash/sh/console fence.
+
+    ``bash``/``sh`` fences are scripts: every non-comment line runs.
+    ``console`` fences are transcripts: only ``$ ``-prefixed lines are
+    commands, everything else is displayed output.
+    """
+    commands = []
+    for line in body.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if language == "console":
+            if not line.startswith("$ "):
+                continue
+            line = line[2:]
+        commands.append(line)
+    return commands
+
+
+def run_shell_command(command: str, workdir: Path) -> Tuple[bool, str]:
+    # The docs write `flowtree ...` (the installed entry point); run the
+    # module directly so a source checkout without `pip install -e .`
+    # checks its docs the same way CI does.
+    rewritten = re.sub(r"^flowtree\b", f"{sys.executable} -m repro.cli", command)
+    rewritten = re.sub(r"^python\b", sys.executable, rewritten)
+    result = subprocess.run(
+        rewritten, shell=True, cwd=workdir, env=_run_env(),
+        capture_output=True, text=True, timeout=TIMEOUT,
+    )
+    return result.returncode == 0, (result.stderr or result.stdout).strip()
+
+
+def check_links(path: Path, text: str) -> List[str]:
+    """Broken intra-repo link targets of one markdown file."""
+    broken = []
+    in_fence = False
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if _FENCE_OPEN.match(line.strip()) or line.strip() == "```":
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in _LINK.findall(line):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                broken.append(f"{path}:{line_number}: broken link -> {target}")
+    return broken
+
+
+def check_file(path: Path, workdir: Path) -> List[str]:
+    """All failures (fences + links) of one markdown file."""
+    text = path.read_text(encoding="utf-8")
+    failures = check_links(path, text)
+    for line_number, language, body, skipped in extract_fences(text):
+        if skipped or language not in RUNNABLE or not body.strip():
+            continue
+        if language == "python":
+            ok, output = run_python_fence(body, workdir)
+            if not ok:
+                failures.append(
+                    f"{path}:{line_number}: python fence failed:\n{output}"
+                )
+            continue
+        for command in shell_commands(body, language):
+            ok, output = run_shell_command(command, workdir)
+            if not ok:
+                failures.append(
+                    f"{path}:{line_number}: command failed: {command}\n{output}"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run markdown code fences and check intra-repo links",
+        epilog="exit codes: 0 clean, 1 failures, 2 usage error",
+    )
+    parser.add_argument("files", nargs="+", type=Path, help="markdown files to check")
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+    missing = [str(path) for path in args.files if not path.is_file()]
+    if missing:
+        print(f"check_docs: no such file: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    failures: List[str] = []
+    checked = 0
+    # Shell fences create files (summaries, stores); give every run one
+    # scratch directory so the docs can chain commands without polluting
+    # the repository checkout.
+    with tempfile.TemporaryDirectory(prefix="check-docs-") as scratch:
+        for path in args.files:
+            failures.extend(check_file(path.resolve(), Path(scratch)))
+            checked += 1
+    for failure in failures:
+        print(failure)
+    noun = "failure" if len(failures) == 1 else "failures"
+    print(f"check_docs: {len(failures)} {noun} in {checked} files")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

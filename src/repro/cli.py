@@ -158,7 +158,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = subparsers.add_parser(
         "lint",
-        help="run flowlint, the AST invariant linter, over source trees",
+        help="run flowlint, the AST invariant linter, over source trees "
+             "(exits 0=clean 1=findings 2=usage error; --format json emits "
+             "a versioned report, see `flowtree lint --help`)",
         add_help=False,
     )
     lint.add_argument(

@@ -13,12 +13,14 @@ to shrink the tree.
 
 from __future__ import annotations
 
+import os
 from collections import defaultdict
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import FlowtreeConfig
 from repro.core.key import FlowKey
-from repro.core.node import FlowtreeNode
+from repro.core.node import Counters, FlowtreeNode
+from repro.core.policy import ChainBuilder, get_policy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.core.flowtree import Flowtree
@@ -215,177 +217,324 @@ class RebuildCompactor:
         compacted, valid and queryable; its root absorbs everything that
         folds past the last interior level.
         """
-        schema = tree.schema
-        max_spec = tree.chain_builder.max_specificity
-        max_depth = sum(max_spec)
-        root_counters = tree.root.counters
-        # depth -> specificity vector -> token signature -> entry, where an
-        # entry is the mutable list [packets, bytes, flows, representative]
-        # and the representative (a key or a raw record) exists only to
-        # materialize the survivor's FlowKey at the end.
-        levels: Dict[int, Dict[tuple, Dict[tuple, list]]] = defaultdict(dict)
-        before = 0
-        for node in tree._all_nodes():
-            if node is tree.root:
-                continue
-            key = node.key
-            vec = key.specificity_vector
-            sig = tuple(
-                feature.mask_token(spec) for feature, spec in zip(key.features, vec)
-            )
-            counters = node.counters
-            levels[sum(vec)].setdefault(vec, {})[sig] = [
-                counters.packets, counters.bytes, counters.flows, key,
-            ]
-            before += 1
-        full_bucket = levels[max_depth].setdefault(max_spec, {})
-        if pending:
-            wrap = len(schema) == 1
-            for signature, entry in pending.items():
-                sig = (signature,) if wrap else signature
-                existing = full_bucket.get(sig)
-                if existing is None:
-                    full_bucket[sig] = entry
-                    before += 1
-                else:
-                    existing[0] += entry[0]
-                    existing[1] += entry[1]
-                    existing[2] += entry[2]
-        for key, packets, byte_count, flows in items:
-            if key.is_root:
-                root_counters.packets += packets
-                root_counters.bytes += byte_count
-                root_counters.flows += flows
-                continue
-            vec = key.specificity_vector
-            sig = tuple(
-                feature.mask_token(spec) for feature, spec in zip(key.features, vec)
-            )
-            bucket = (
-                full_bucket if vec == max_spec
-                else levels[sum(vec)].setdefault(vec, {})
-            )
-            existing = bucket.get(sig)
-            if existing is None:
-                bucket[sig] = [packets, byte_count, flows, key]
-                before += 1
-            else:
-                existing[0] += packets
-                existing[1] += byte_count
-                existing[2] += flows
-
-        survivors, folded = self._fold(tree, levels, before, root_counters, target_nodes)
+        levels, before = flatten_levels(tree, items, pending)
+        survivors, folded = fold_levels(
+            levels,
+            before,
+            tree.root.counters,
+            target_nodes,
+            tree.schema,
+            tree.chain_builder,
+            self._config.protected_min_count,
+        )
         tree._rebuild_from_entries(survivors)
         return folded
 
-    def _fold(
-        self,
-        tree: "Flowtree",
-        levels: Dict[int, Dict[tuple, Dict[tuple, list]]],
-        before: int,
-        root_counters,
-        target_nodes: int,
-    ) -> tuple:
-        """Level-by-level bottom-up fold; returns ``(survivors, folded)``.
 
-        ``survivors`` is a list of ``(key, [packets, bytes, flows, ...])``
-        pairs sorted by ascending specificity, so ancestors always precede
-        the keys they contain — the ordering the tree reconstruction relies
-        on.
+def flatten_levels(
+    tree: "Flowtree",
+    items: Sequence[tuple],
+    pending: Optional[Dict[object, list]] = None,
+) -> Tuple[Dict[int, Dict[tuple, Dict[tuple, list]]], int]:
+    """Flatten kept nodes plus a batch into the fold's level buckets.
 
-        The fold itself never constructs :class:`FlowKey` objects.  Every
-        entry is represented by ``(specificity vector, token signature)``
-        where the signature holds one :meth:`~repro.features.base.Feature.mask_token`
-        per feature; a fold step changes exactly one vector component and
-        one token (a masked-integer :meth:`~repro.features.base.Feature.mask_raw`
-        call), and two entries denote the same generalized key exactly when
-        vector and signature agree.  Keys are materialized once per
-        *survivor* — at most ``target_nodes`` of them — from the entry's
-        retained representative.
-        """
-        budget = max(0, target_nodes - 1)   # the root is kept implicitly
-        maskers = tuple(spec.feature_type.mask_raw for spec in tree.schema.fields)
-        fold_step = tree.chain_builder.fold_step
-        parent_cache: Dict[tuple, tuple] = {}
-        protected = self._config.protected_min_count
-        total = before
-        for depth in range(max(levels, default=0), 0, -1):
-            if total <= budget:
-                break
-            at_depth = levels.get(depth)
-            if not at_depth:
-                continue
-            count_here = sum(len(bucket) for bucket in at_depth.values())
-            # Depths above ``depth`` are final; depths below may still fold,
-            # but they get their full reservation — a shallow aggregate
-            # summarizes strictly more key space than anything at this level.
-            keep = max(0, budget - (total - count_here))
-            need = count_here - keep
-            if need <= 0:
-                continue
-            ranked = sorted(
-                (
-                    (entry, vec, sig)
-                    for vec, bucket in at_depth.items()
-                    for sig, entry in bucket.items()
-                ),
-                key=lambda item: item[0][0],
-            )
-            if protected > 0:
-                # Protection orders victims, the budget wins — the same end
-                # state the incremental strategy reaches: its rounds fold
-                # unprotected leaves first and fall back to protected ones
-                # once no unprotected victim is left.  Levels are processed
-                # exactly once here, so the fallback must happen within the
-                # level or the budget would be violated permanently.
-                unprotected = [item for item in ranked if item[0][0] < protected]
-                victims = unprotected[:need]
-                if len(victims) < need:
-                    shielded = [item for item in ranked if item[0][0] >= protected]
-                    victims.extend(shielded[:need - len(victims)])
+    Returns ``(levels, before)`` where ``levels`` maps ``depth ->
+    specificity vector -> token signature -> entry``; an entry is the
+    mutable list ``[packets, bytes, flows, representative]`` and the
+    representative (a key or a raw record) exists only to materialize the
+    survivor's FlowKey at the end.  Root-keyed batch items are charged to
+    the tree's root counters directly.  The result is pure token-space
+    data (plus picklable representatives), which is what lets
+    :func:`parallel_rebuild` ship it to a worker process wholesale.
+    """
+    schema = tree.schema
+    max_spec = tree.chain_builder.max_specificity
+    max_depth = sum(max_spec)
+    root_counters = tree.root.counters
+    # Root-keyed batch items mutate the root counters below; the flatten is
+    # always followed by a rebuild, so dropping the root's cached aggregate
+    # here is both coherent and free.
+    tree.root.subtree_cache = None
+    levels: Dict[int, Dict[tuple, Dict[tuple, list]]] = defaultdict(dict)
+    before = 0
+    for node in tree._all_nodes():
+        if node is tree.root:
+            continue
+        key = node.key
+        vec = key.specificity_vector
+        sig = tuple(
+            feature.mask_token(spec) for feature, spec in zip(key.features, vec)
+        )
+        counters = node.counters
+        levels[sum(vec)].setdefault(vec, {})[sig] = [
+            counters.packets, counters.bytes, counters.flows, key,
+        ]
+        before += 1
+    full_bucket = levels[max_depth].setdefault(max_spec, {})
+    if pending:
+        wrap = len(schema) == 1
+        for signature, entry in pending.items():
+            sig = (signature,) if wrap else signature
+            existing = full_bucket.get(sig)
+            if existing is None:
+                full_bucket[sig] = entry
+                before += 1
             else:
-                victims = ranked[:need]
-            for entry, vec, sig in victims:
-                del at_depth[vec][sig]
-                total -= 1
-                step = parent_cache.get(vec)
-                if step is None:
-                    index, target = fold_step(vec)
-                    parent_vec = vec[:index] + (target,) + vec[index + 1:]
-                    step = (index, target, parent_vec, sum(parent_vec))
-                    parent_cache[vec] = step
-                index, target, parent_vec, parent_depth = step
-                if parent_depth == 0:
-                    root_counters.packets += entry[0]
-                    root_counters.bytes += entry[1]
-                    root_counters.flows += entry[2]
-                    continue
-                parent_sig = (
-                    sig[:index] + (maskers[index](sig[index], target),) + sig[index + 1:]
-                )
-                parent_bucket = levels[parent_depth].setdefault(parent_vec, {})
-                existing = parent_bucket.get(parent_sig)
-                if existing is None:
-                    parent_bucket[parent_sig] = entry
-                    total += 1
-                else:
-                    existing[0] += entry[0]
-                    existing[1] += entry[1]
-                    existing[2] += entry[2]
+                existing[0] += entry[0]
+                existing[1] += entry[1]
+                existing[2] += entry[2]
+    for key, packets, byte_count, flows in items:
+        if key.is_root:
+            root_counters.packets += packets
+            root_counters.bytes += byte_count
+            root_counters.flows += flows
+            continue
+        vec = key.specificity_vector
+        sig = tuple(
+            feature.mask_token(spec) for feature, spec in zip(key.features, vec)
+        )
+        bucket = (
+            full_bucket if vec == max_spec
+            else levels[sum(vec)].setdefault(vec, {})
+        )
+        existing = bucket.get(sig)
+        if existing is None:
+            bucket[sig] = [packets, byte_count, flows, key]
+            before += 1
+        else:
+            existing[0] += packets
+            existing[1] += byte_count
+            existing[2] += flows
+    return levels, before
 
-        schema = tree.schema
-        survivors: List[tuple] = []
-        for depth in sorted(levels):
-            for vec, bucket in levels[depth].items():
-                for entry in bucket.values():
-                    representative = entry[3]
-                    if not isinstance(representative, FlowKey):
-                        representative = FlowKey.from_record(schema, representative)
-                    if representative.specificity_vector == vec:
-                        survivors.append((representative, entry))
-                    else:
-                        survivors.append((representative.generalize_to_vector(vec), entry))
-        return survivors, before - len(survivors)
+
+def fold_levels(
+    levels: Dict[int, Dict[tuple, Dict[tuple, list]]],
+    before: int,
+    root_counters: Counters,
+    target_nodes: int,
+    schema,
+    chain_builder: ChainBuilder,
+    protected: int,
+) -> tuple:
+    """Level-by-level bottom-up fold; returns ``(survivors, folded)``.
+
+    ``survivors`` is a list of ``(key, [packets, bytes, flows, ...],
+    signature)`` triples sorted by ascending specificity, so ancestors
+    always precede the keys they contain — the ordering the tree
+    reconstruction relies on.  The signature is the key's own-level token
+    signature, carried along so the reconstruction can prime the query
+    index without recomputing it.
+
+    The fold itself never constructs :class:`FlowKey` objects.  Every
+    entry is represented by ``(specificity vector, token signature)``
+    where the signature holds one :meth:`~repro.features.base.Feature.mask_token`
+    per feature; a fold step changes exactly one vector component and
+    one token (a masked-integer :meth:`~repro.features.base.Feature.mask_raw`
+    call), and two entries denote the same generalized key exactly when
+    vector and signature agree.  Keys are materialized once per
+    *survivor* — at most ``target_nodes`` of them — from the entry's
+    retained representative.
+
+    This is a pure function of its arguments (``levels`` and
+    ``root_counters`` are mutated, nothing else is touched), which is what
+    makes the per-shard parallel fold byte-identical to the serial one:
+    a worker process folding the same flattened levels takes exactly the
+    same victim-selection and fold steps.
+    """
+    budget = max(0, target_nodes - 1)   # the root is kept implicitly
+    maskers = tuple(spec.feature_type.mask_raw for spec in schema.fields)
+    fold_step = chain_builder.fold_step
+    parent_cache: Dict[tuple, tuple] = {}
+    total = before
+    for depth in range(max(levels, default=0), 0, -1):
+        if total <= budget:
+            break
+        at_depth = levels.get(depth)
+        if not at_depth:
+            continue
+        count_here = sum(len(bucket) for bucket in at_depth.values())
+        # Depths above ``depth`` are final; depths below may still fold,
+        # but they get their full reservation — a shallow aggregate
+        # summarizes strictly more key space than anything at this level.
+        keep = max(0, budget - (total - count_here))
+        need = count_here - keep
+        if need <= 0:
+            continue
+        ranked = sorted(
+            (
+                (entry, vec, sig)
+                for vec, bucket in at_depth.items()
+                for sig, entry in bucket.items()
+            ),
+            key=lambda item: item[0][0],
+        )
+        if protected > 0:
+            # Protection orders victims, the budget wins — the same end
+            # state the incremental strategy reaches: its rounds fold
+            # unprotected leaves first and fall back to protected ones
+            # once no unprotected victim is left.  Levels are processed
+            # exactly once here, so the fallback must happen within the
+            # level or the budget would be violated permanently.
+            unprotected = [item for item in ranked if item[0][0] < protected]
+            victims = unprotected[:need]
+            if len(victims) < need:
+                shielded = [item for item in ranked if item[0][0] >= protected]
+                victims.extend(shielded[:need - len(victims)])
+        else:
+            victims = ranked[:need]
+        for entry, vec, sig in victims:
+            del at_depth[vec][sig]
+            total -= 1
+            step = parent_cache.get(vec)
+            if step is None:
+                index, target = fold_step(vec)
+                parent_vec = vec[:index] + (target,) + vec[index + 1:]
+                step = (index, target, parent_vec, sum(parent_vec))
+                parent_cache[vec] = step
+            index, target, parent_vec, parent_depth = step
+            if parent_depth == 0:
+                root_counters.packets += entry[0]
+                root_counters.bytes += entry[1]
+                root_counters.flows += entry[2]
+                continue
+            parent_sig = (
+                sig[:index] + (maskers[index](sig[index], target),) + sig[index + 1:]
+            )
+            parent_bucket = levels[parent_depth].setdefault(parent_vec, {})
+            existing = parent_bucket.get(parent_sig)
+            if existing is None:
+                parent_bucket[parent_sig] = entry
+                total += 1
+            else:
+                existing[0] += entry[0]
+                existing[1] += entry[1]
+                existing[2] += entry[2]
+
+    survivors: List[tuple] = []
+    for depth in sorted(levels):
+        for vec, bucket in levels[depth].items():
+            for sig, entry in bucket.items():
+                representative = entry[3]
+                if not isinstance(representative, FlowKey):
+                    representative = FlowKey.from_record(schema, representative)
+                if representative.specificity_vector == vec:
+                    survivors.append((representative, entry, sig))
+                else:
+                    survivors.append(
+                        (representative.generalize_to_vector(vec), entry, sig)
+                    )
+    return survivors, before - len(survivors)
+
+
+def _parallel_fold_worker(payload: tuple) -> tuple:
+    """Fold one shard's flattened levels in a worker process.
+
+    ``payload`` is ``(schema_name, config, levels, before, root_counters,
+    target_nodes)`` — pure picklable token-space state.  Returns
+    ``(survivors, folded, root_delta)`` where ``root_delta`` is how much
+    mass the fold pushed past the last interior level (the parent adds it
+    to the shard root's counters before applying the survivors).
+
+    Module-level by contract: worker targets must be picklable under every
+    multiprocessing start method (the flowlint ``worker-picklability``
+    rule pins this).
+    """
+    schema_name, config, levels, before, root_counters, target_nodes = payload
+    from repro.features.schema import schema_by_name
+
+    levels = defaultdict(dict, levels)
+    schema = schema_by_name(schema_name)
+    chain_builder = ChainBuilder.for_schema(
+        schema,
+        get_policy(config.policy),
+        ip_stride=config.ip_stride,
+        port_stride=config.port_stride,
+    )
+    delta = Counters(0, 0, 0)
+    delta.packets -= root_counters.packets
+    delta.bytes -= root_counters.bytes
+    delta.flows -= root_counters.flows
+    survivors, folded = fold_levels(
+        levels, before, root_counters, target_nodes,
+        schema, chain_builder, config.protected_min_count,
+    )
+    delta.packets += root_counters.packets
+    delta.bytes += root_counters.bytes
+    delta.flows += root_counters.flows
+    return survivors, folded, (delta.packets, delta.bytes, delta.flows)
+
+
+def parallel_rebuild(
+    trees: Sequence["Flowtree"],
+    target_nodes: Optional[int] = None,
+    processes: Optional[int] = None,
+    start_method: Optional[str] = None,
+) -> int:
+    """Rebuild-fold several trees at once, one worker process per fold.
+
+    The per-shard-partition parallel fold: each tree (typically the shards
+    of a :class:`~repro.core.sharded.ShardedFlowtree`) is flattened in the
+    parent, its token-space levels are shipped to a worker process, folded
+    there with :func:`fold_levels`, and the survivors applied back in the
+    parent — so every shard's result is **byte-identical** to calling its
+    serial rebuild, while the folds (the dominant cost) run concurrently.
+
+    ``target_nodes`` is the per-tree compaction target (defaults to each
+    tree's own ``config.target_nodes``).  Trees already at or under their
+    target are skipped.  Returns the total number of entries folded away.
+    With one eligible tree — or ``processes=1`` — the folds run in-process
+    (no worker overhead, same bytes).
+    """
+    work: List[Tuple["Flowtree", int]] = []
+    for tree in trees:
+        target = target_nodes
+        if target is None:
+            target = tree.config.target_nodes or len(tree._nodes)
+        if len(tree._nodes) > target:
+            work.append((tree, target))
+    if not work:
+        return 0
+
+    payloads = []
+    for tree, target in work:
+        levels, before = flatten_levels(tree, ())
+        root = tree.root.counters
+        payloads.append(
+            (
+                tree.schema.name,
+                tree.config,
+                dict(levels),
+                before,
+                Counters(root.packets, root.bytes, root.flows),
+                target,
+            )
+        )
+
+    if processes is None:
+        processes = min(len(payloads), os.cpu_count() or 1)
+    if processes <= 1 or len(payloads) == 1:
+        results = [_parallel_fold_worker(payload) for payload in payloads]
+    else:
+        from repro.core.parallel import worker_context
+
+        with worker_context(start_method).Pool(processes) as pool:
+            results = pool.map(_parallel_fold_worker, payloads)
+
+    folded_total = 0
+    for (tree, _target), (survivors, folded, root_delta) in zip(work, results):
+        root_counters = tree.root.counters
+        root_counters.packets += root_delta[0]
+        root_counters.bytes += root_delta[1]
+        root_counters.flows += root_delta[2]
+        tree.root.invalidate_subtree_cache()
+        tree._rebuild_from_entries(survivors)
+        tree.stats.rebuilds += 1
+        if folded > 0:
+            tree.stats.compactions += 1
+            tree.stats.folded_nodes += folded
+        folded_total += folded
+    return folded_total
 
 
 def fold_into(target: FlowtreeNode, victims: Sequence[FlowtreeNode]) -> None:

@@ -26,7 +26,7 @@ from repro.core.errors import QueryError, SchemaMismatchError
 from repro.core.key import FlowKey
 from repro.core.node import Counters, FlowtreeNode
 from repro.core.policy import ChainBuilder, GeneralizationPolicy, get_policy
-from repro.core.query import QueryIndex
+from repro.core.query import QueryIndex, signature_at
 from repro.features.schema import FlowSchema
 
 
@@ -624,7 +624,9 @@ class Flowtree:
             self._stats.compactions += 1
             self._stats.folded_nodes += folded
 
-    def _rebuild_from_entries(self, survivors: List[Tuple[FlowKey, List[int]]]) -> None:
+    def _rebuild_from_entries(
+        self, survivors: List[Tuple[FlowKey, List[int], tuple]]
+    ) -> None:
         """Replace the tree's contents with ``survivors`` (rebuild semantics).
 
         ``survivors`` must be sorted by ascending specificity so that every
@@ -633,11 +635,17 @@ class Flowtree:
         and the populated-level ancestor index answers each lookup in a few
         dict probes.  The root node object (and its counters, which the
         rebuild fold has already topped up) is preserved.
+
+        Each survivor carries its own-level token signature (computed by
+        the fold, which works entirely in signature space), so the pass
+        that re-inserts the survivors also accumulates the per-level query
+        registry and hands it to :meth:`QueryIndex.prime` — the first query
+        after a rebuild no longer pays the cold O(n) index build.
         """
         old_nodes = self._nodes
         root = self._root
         root.children.clear()
-        # Wholesale rewrite: drop the query index (rebuilt lazily) and the
+        # Wholesale rewrite: drop the query index (re-primed below) and the
         # root's cached aggregate (its counters were topped up directly).
         self._query_index.invalidate()
         root.subtree_cache = None
@@ -650,19 +658,24 @@ class Flowtree:
         max_spec = self._max_spec
         traj_index = self._traj_index
         new_inserts = 0
-        for key, counters in survivors:
+        by_vec: Dict[Tuple[int, ...], Dict[tuple, FlowtreeNode]] = {
+            self._root_spec: {signature_at(root.key, self._root_spec): root}
+        }
+        for key, counters, sig in survivors:
             ancestor = self._longest_matching_ancestor(key)
             node = FlowtreeNode(key, created_seq=seq)
             node.counters = Counters(counters[0], counters[1], counters[2])
             ancestor.attach_child(node)
             self._nodes[key] = node
             vec = key.specificity_vector
+            by_vec.setdefault(vec, {})[sig] = node
             if vec != max_spec and vec in traj_index:
                 self._level_added(vec)
             if key not in old_nodes:
                 new_inserts += 1
         root.updated_seq = seq
         self._stats.inserts += new_inserts
+        self._query_index.prime(by_vec)
 
     # -- internal hooks used by the compactor and the operators ----------------
 

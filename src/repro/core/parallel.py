@@ -74,6 +74,21 @@ _MAX_RESTARTS_PER_OP = 3
 _JOURNAL_CHECKPOINT_ENTRIES = 256
 
 
+def worker_context(start_method: Optional[str] = None):
+    """Multiprocessing context with the executor's start-method policy.
+
+    Defaults to ``fork`` where available (cheapest: workers inherit loaded
+    modules) and the platform default elsewhere.  Shared by every component
+    that spawns worker processes (:class:`ParallelShardedFlowtree`, the
+    parallel rebuild fold in :mod:`repro.core.compaction`), so they all
+    make the same platform choice.
+    """
+    if start_method is None:
+        methods = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else None
+    return multiprocessing.get_context(start_method)
+
+
 def _shard_worker_main(schema_name: str, config: FlowtreeConfig, commands, replies) -> None:
     """Worker process loop: one shard tree, commands in, summaries out.
 
@@ -227,10 +242,7 @@ class ParallelShardedFlowtree:
         self._config = config or FlowtreeConfig()
         self._num_workers = num_workers
         self._shard_config = shard_config_for(self._config, num_workers)
-        if start_method is None:
-            methods = multiprocessing.get_all_start_methods()
-            start_method = "fork" if "fork" in methods else None
-        self._context = multiprocessing.get_context(start_method)
+        self._context = worker_context(start_method)
         self._workers: List[_WorkerHandle] = []
         self._pending: Optional[PendingSummaries] = None
         self._records_ingested = 0

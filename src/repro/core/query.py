@@ -113,6 +113,28 @@ class QueryIndex:
         self._projections = {}
         self._plans = {}
 
+    def prime(
+        self, by_vec: Dict[Tuple[int, ...], Dict[Signature, FlowtreeNode]]
+    ) -> None:
+        """Adopt a pre-built per-level registry, skipping the cold O(n) pass.
+
+        Bulk rebuild already walks every survivor once to re-insert it; the
+        per-level registry it accumulates along the way is exactly what
+        :meth:`_ensure` would recompute from scratch on the first query
+        after the rebuild.  Handing it over here makes the projection index
+        a *by-product* of the rebuild: the index comes up warm (``_valid``)
+        and the maintenance hooks take over immediately.
+
+        The caller owns the contract that ``by_vec`` covers every node in
+        the tree (including the root) with own-level signatures — the same
+        shape :meth:`_ensure` builds.
+        """
+        self._by_vec = by_vec
+        self._levels_desc = None
+        self._projections = {}
+        self._plans = {}
+        self._valid = True
+
     def node_added(self, node: FlowtreeNode) -> None:
         """Register a newly kept node (O(1) no-op while the index is cold)."""
         if not self._valid:

@@ -345,6 +345,25 @@ class ShardedFlowtree:
         """Compact every shard to its target size; returns nodes removed."""
         return sum(shard.compact() for shard in self._shards)
 
+    def compact_parallel(
+        self,
+        processes: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> int:
+        """Rebuild-fold every over-budget shard with one worker per fold.
+
+        Byte-identical to calling :meth:`compact` under the ``rebuild``
+        compaction mode — each shard's fold runs the exact serial algorithm
+        on the exact serial input, just in its own process (see
+        :func:`repro.core.compaction.parallel_rebuild`).  Returns the total
+        number of entries folded away.
+        """
+        from repro.core.compaction import parallel_rebuild
+
+        return parallel_rebuild(
+            self._shards, processes=processes, start_method=start_method
+        )
+
     def validate(self) -> None:
         """Validate the structural invariants of every shard."""
         for shard in self._shards:

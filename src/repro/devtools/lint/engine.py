@@ -300,6 +300,17 @@ def build_arg_parser(prog: str = "flowlint") -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog=prog,
         description="flowlint: AST-based invariant linter for the Flowtree codebase",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "exit codes:\n"
+            f"  0  clean (no findings)\n"
+            f"  1  findings reported\n"
+            f"  2  usage error (bad path, unknown rule)\n"
+            f"\n"
+            f"The JSON report carries schema version {REPORT_VERSION} in its "
+            f"top-level \"version\" field;\nconsumers should reject documents "
+            f"with a version they do not know."
+        ),
     )
     parser.add_argument(
         "paths", nargs="*", default=["src", "tests", "benchmarks"],
@@ -307,7 +318,8 @@ def build_arg_parser(prog: str = "flowlint") -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format", choices=("text", "json"), default="text",
-        help="report format (default: text)",
+        help=f"report format (default: text; json emits report schema "
+             f"version {REPORT_VERSION})",
     )
     parser.add_argument(
         "--select", action="append", default=None, metavar="RULE",
@@ -339,6 +351,10 @@ def main(argv: Optional[Sequence[str]] = None, prog: str = "flowlint") -> int:
     if args.list_rules:
         for rule in all_rules():
             print(f"{rule.name}: {rule.description}")
+        print(
+            f"flowlint: {len(all_rules())} rules; exit codes 0=clean "
+            f"1=findings 2=usage; JSON report schema version {REPORT_VERSION}"
+        )
         return EXIT_CLEAN
 
     if args.update_wire_manifest:

@@ -4,7 +4,10 @@ Every frame is ``u32 body-length | body``; the first body byte is the
 frame type.  Three frame types make up the protocol:
 
 * ``HELLO`` — sent once per connection by the client: protocol version,
-  the sending site's endpoint name and the destination collector name.
+  the sending site's endpoint name, the destination collector name, and
+  (since protocol version 2) the summary/sub-batch format versions the
+  site emits, so the server can reject a connection whose payloads it
+  could not decode *before* any summary bytes flow.
 * ``SUMMARY`` — one :class:`~repro.distributed.messages.SummaryMessage`
   with a per-connection frame number (1, 2, 3, ...).  The frame number
   lets the server enforce in-order, gap-free delivery per connection and
@@ -30,10 +33,13 @@ from dataclasses import dataclass
 from typing import List, Union
 
 from repro.core.errors import TransportError
+from repro.core.serialization import BATCH_FORMAT_VERSION, FORMAT_VERSION
 from repro.distributed.messages import SUMMARY_DIFF, SUMMARY_FULL, SummaryMessage
 
 #: Bumped on any incompatible change to the frame layout below.
-PROTOCOL_VERSION = 1
+#: Version 2 extended the HELLO body with the payload format advertisement
+#: (summary format + sub-batch format version bytes).
+PROTOCOL_VERSION = 2
 
 FRAME_HELLO = 1
 FRAME_SUMMARY = 2
@@ -45,6 +51,7 @@ MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 _LENGTH = struct.Struct("!I")
 _HELLO_HEAD = struct.Struct("!BIH")
+_HELLO_FORMATS = struct.Struct("!BB")
 _SUMMARY_HEAD = struct.Struct("!BQ")
 _SUMMARY_META = struct.Struct("!qddBBQqI")
 _ACK = struct.Struct("!BQ")
@@ -61,11 +68,19 @@ SUMMARY_FRAME_ENVELOPE = _LENGTH.size + struct.calcsize("!BQ")
 
 @dataclass(frozen=True)
 class HelloFrame:
-    """Connection preamble: who is sending, to which collector endpoint."""
+    """Connection preamble: who is sending, to which collector endpoint.
+
+    ``summary_format`` and ``batch_format`` advertise the FTRE summary and
+    FTAB sub-batch format versions the client encodes with; the server
+    rejects the connection up front if either is newer than what this
+    build decodes (see :meth:`CollectorServer._handle`).
+    """
 
     site: str
     destination: str
     version: int
+    summary_format: int = FORMAT_VERSION
+    batch_format: int = BATCH_FORMAT_VERSION
     wire_bytes: int = 0
 
 
@@ -105,8 +120,17 @@ def encode_frame(body: bytes) -> bytes:
     return _LENGTH.pack(len(body)) + body
 
 
-def encode_hello(site: str, destination: str) -> bytes:
-    """HELLO body: protocol version + site name + destination endpoint name."""
+def encode_hello(
+    site: str,
+    destination: str,
+    summary_format: int = FORMAT_VERSION,
+    batch_format: int = BATCH_FORMAT_VERSION,
+) -> bytes:
+    """HELLO body: version + site + destination + payload format advertisement.
+
+    ``summary_format``/``batch_format`` default to what this build encodes;
+    tests override them to exercise the server-side rejection path.
+    """
     site_bytes = _encode_name(site)
     dest_bytes = _encode_name(destination)
     return (
@@ -114,6 +138,7 @@ def encode_hello(site: str, destination: str) -> bytes:
         + site_bytes
         + struct.pack("!H", len(dest_bytes))
         + dest_bytes
+        + _HELLO_FORMATS.pack(summary_format, batch_format)
     )
 
 
@@ -161,6 +186,16 @@ def encode_ack(acked: int) -> bytes:
 def _decode_hello(body: bytes, wire_bytes: int) -> HelloFrame:
     try:
         _, version, site_len = _HELLO_HEAD.unpack_from(body, 0)
+    except struct.error as exc:
+        raise TransportError(f"malformed HELLO frame: {exc}") from exc
+    # Version first: a v1 HELLO ends right after the destination name, so
+    # parsing the format advertisement out of it would report a confusing
+    # truncation error instead of the actual version mismatch.
+    if version != PROTOCOL_VERSION:
+        raise TransportError(
+            f"peer speaks protocol version {version}, this build speaks {PROTOCOL_VERSION}"
+        )
+    try:
         offset = _HELLO_HEAD.size
         site = body[offset : offset + site_len].decode("utf-8")
         offset += site_len
@@ -168,15 +203,20 @@ def _decode_hello(body: bytes, wire_bytes: int) -> HelloFrame:
         offset += 2
         destination = body[offset : offset + dest_len].decode("utf-8")
         offset += dest_len
+        summary_format, batch_format = _HELLO_FORMATS.unpack_from(body, offset)
+        offset += _HELLO_FORMATS.size
     except (struct.error, UnicodeDecodeError) as exc:
         raise TransportError(f"malformed HELLO frame: {exc}") from exc
     if offset != len(body):
         raise TransportError(f"HELLO frame carries {len(body) - offset} trailing bytes")
-    if version != PROTOCOL_VERSION:
-        raise TransportError(
-            f"peer speaks protocol version {version}, this build speaks {PROTOCOL_VERSION}"
-        )
-    return HelloFrame(site=site, destination=destination, version=version, wire_bytes=wire_bytes)
+    return HelloFrame(
+        site=site,
+        destination=destination,
+        version=version,
+        summary_format=summary_format,
+        batch_format=batch_format,
+        wire_bytes=wire_bytes,
+    )
 
 
 def _decode_summary(body: bytes, wire_bytes: int) -> SummaryFrame:

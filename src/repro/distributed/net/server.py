@@ -37,6 +37,7 @@ from collections import deque
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.core.errors import TransportError
+from repro.core.serialization import BATCH_FORMAT_VERSION, FORMAT_VERSION
 from repro.distributed.net.framing import (
     FrameDecoder,
     HelloFrame,
@@ -238,6 +239,18 @@ class CollectorServer(TransferAccounting):
                             )
                         if not frame.site:
                             raise self._protocol_error("HELLO with empty site name")
+                        if frame.summary_format > FORMAT_VERSION:
+                            raise self._protocol_error(
+                                f"site {frame.site!r} emits summary format "
+                                f"{frame.summary_format}, this collector decodes "
+                                f"up to {FORMAT_VERSION}"
+                            )
+                        if frame.batch_format > BATCH_FORMAT_VERSION:
+                            raise self._protocol_error(
+                                f"site {frame.site!r} emits sub-batch format "
+                                f"{frame.batch_format}, this collector decodes "
+                                f"up to {BATCH_FORMAT_VERSION}"
+                            )
                         hello = frame
                     elif isinstance(frame, SummaryFrame):
                         if hello is None:

@@ -1,0 +1,148 @@
+"""The CI docs checker (scripts/check_docs.py).
+
+The checker executes markdown code fences (python directly, bash/console
+via the shell with ``flowtree`` rewritten to ``python -m repro.cli``) and
+resolves intra-repo links, so the written specs in ``docs/`` cannot drift
+from the code they document.  Exit codes mirror flowlint: 0 clean,
+1 failures, 2 usage error.
+"""
+
+import importlib.util
+from pathlib import Path
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "check_docs.py"
+_spec = importlib.util.spec_from_file_location("check_docs", _SCRIPT)
+check_docs = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_docs)
+
+
+class TestFenceExtraction:
+    def test_languages_and_bodies(self):
+        text = "\n".join([
+            "prose",
+            "```python",
+            "x = 1",
+            "```",
+            "```text",
+            "not runnable",
+            "```",
+            "```",
+            "no language",
+            "```",
+        ])
+        fences = check_docs.extract_fences(text)
+        assert [(lang, body) for _, lang, body, _ in fences] == [
+            ("python", "x = 1"),
+            ("text", "not runnable"),
+            ("", "no language"),
+        ]
+
+    def test_skip_marker_applies_to_next_fence_only(self):
+        text = "\n".join([
+            check_docs.SKIP_MARKER,
+            "```python",
+            "raise SystemExit(1)",
+            "```",
+            "```python",
+            "x = 1",
+            "```",
+        ])
+        fences = check_docs.extract_fences(text)
+        assert [skipped for _, _, _, skipped in fences] == [True, False]
+
+    def test_prose_between_marker_and_fence_cancels_skip(self):
+        text = "\n".join([
+            check_docs.SKIP_MARKER,
+            "some prose in between",
+            "```python",
+            "x = 1",
+            "```",
+        ])
+        fences = check_docs.extract_fences(text)
+        assert [skipped for _, _, _, skipped in fences] == [False]
+
+
+class TestShellCommands:
+    def test_bash_fences_run_every_line(self):
+        body = "# a comment\nflowtree lint --list-rules\necho hi"
+        assert check_docs.shell_commands(body, "bash") == [
+            "flowtree lint --list-rules", "echo hi",
+        ]
+
+    def test_console_fences_run_only_prompted_lines(self):
+        body = "$ echo hi\nhi\n$ echo bye\nbye"
+        assert check_docs.shell_commands(body, "console") == ["echo hi", "echo bye"]
+
+
+class TestCheckFile:
+    def test_clean_file_passes(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("\n".join([
+            "A runnable fence and a good link.",
+            "```python",
+            "from repro.core import Flowtree",
+            "```",
+            "```bash",
+            "flowtree lint --list-rules",
+            "```",
+            f"See [the script]({_SCRIPT.name}).",
+        ]))
+        (tmp_path / _SCRIPT.name).write_text("placeholder")
+        assert check_docs.check_file(doc, tmp_path) == []
+
+    def test_failing_python_fence_reported(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("```python\nraise RuntimeError('boom')\n```\n")
+        failures = check_docs.check_file(doc, tmp_path)
+        assert len(failures) == 1
+        assert "python fence failed" in failures[0]
+        assert "boom" in failures[0]
+
+    def test_failing_command_reported(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("```bash\nflowtree definitely-not-a-subcommand\n```\n")
+        failures = check_docs.check_file(doc, tmp_path)
+        assert len(failures) == 1
+        assert "command failed" in failures[0]
+
+    def test_broken_link_reported_and_fragments_ignored(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("\n".join([
+            "[missing](nope.md)",
+            "[anchor-only](#section)",
+            "[external](https://example.com/nope)",
+        ]))
+        failures = check_docs.check_file(doc, tmp_path)
+        assert len(failures) == 1
+        assert "nope.md" in failures[0]
+
+    def test_links_inside_fences_ignored(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("```text\n[not a link check](nope.md)\n```\n")
+        assert check_docs.check_file(doc, tmp_path) == []
+
+    def test_skipped_fence_not_run(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            f"{check_docs.SKIP_MARKER}\n```bash\nexit 1\n```\n"
+        )
+        assert check_docs.check_file(doc, tmp_path) == []
+
+
+class TestMain:
+    def test_exit_codes(self, tmp_path, capsys):
+        good = tmp_path / "good.md"
+        good.write_text("just prose\n")
+        bad = tmp_path / "bad.md"
+        bad.write_text("[missing](gone.md)\n")
+        assert check_docs.main([str(good)]) == 0
+        assert check_docs.main([str(good), str(bad)]) == 1
+        assert check_docs.main([str(tmp_path / "absent.md")]) == 2
+        capsys.readouterr()
+
+    def test_repo_docs_pass(self):
+        # The real contract: the shipped documentation must check clean.
+        repo = Path(__file__).resolve().parent.parent
+        files = [repo / "README.md"] + sorted((repo / "docs").glob("*.md"))
+        assert files, "repo documentation is missing"
+        assert check_docs.main([str(path) for path in files]) == 0

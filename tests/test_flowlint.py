@@ -394,6 +394,26 @@ def encode_aggregated_batch(items):
 
 def decode_aggregated_batch(data, schema):
     return [], 0
+
+
+def _encode_varint_entry(entry, out):
+    out.append(entry)
+
+
+def _decode_varint_entry(data, offset, schema):
+    return data[offset], offset + 1
+
+
+def _fixed_entry_values(entry, kinds):
+    return None
+
+
+def _decode_fixed_section(view, offset, count, codec, items):
+    return offset
+
+
+def _fixed_codec_for_types(types):
+    return None
 '''
 
 
