@@ -46,6 +46,7 @@ from repro.distributed.collector import Collector, CollectorConfig, stored_ident
 from repro.distributed.daemon import FlowtreeDaemon
 from repro.distributed.net import CollectorServer, SiteClient
 from repro.distributed.stores import STORE_KINDS, open_store
+from repro.distributed.supervisor import Supervisor, SupervisorConfig
 from repro.distributed.transport import SimulatedTransport, Transport
 from repro.features.schema import schema_by_name
 from repro.flows.csv_io import read_csv, write_csv
@@ -148,6 +149,9 @@ def build_parser() -> argparse.ArgumentParser:
     collect.add_argument("--port", type=int, default=0,
                          help="TCP port the collector listens on (0 = ephemeral; "
                               "tcp transport only)")
+    collect.add_argument("--supervised", action="store_true",
+                         help="run a supervisor health check over the collector "
+                              "and report its health snapshot")
     collect.add_argument("input", type=Path)
 
     sinfo = subparsers.add_parser(
@@ -367,6 +371,24 @@ def _cmd_collect(args: argparse.Namespace) -> int:
     if client is not None:
         client.close()
     collector.poll()
+    if args.supervised:
+        supervisor = Supervisor(
+            [collector],
+            servers=[server] if server is not None else None,
+            config=SupervisorConfig(poll_on_check=True),
+        )
+        snapshot = supervisor.check()[collector.name]
+        print(render_kv(
+            f"Supervisor health: {collector.name}",
+            {
+                "healthy": snapshot["healthy"],
+                "server_running": snapshot["server_running"],
+                "restarts": snapshot["restarts"],
+                "last_error": snapshot["last_error"] or "-",
+                "sites": snapshot["sites"],
+                "pending_backlog": snapshot["pending_backlog"],
+            },
+        ))
     footprint = store_footprint(collector.store)
     report = {
         "records": consumed,

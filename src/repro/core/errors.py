@@ -42,3 +42,21 @@ class WorkerError(FlowtreeError):
 
 class DaemonError(FlowtreeError):
     """A distributed daemon/collector operation failed."""
+
+
+class CollectorUnavailableError(DaemonError):
+    """A collector is down or unreachable.
+
+    Raised by a killed collector's entry points and by the query engine's
+    gather when a collector times out; with ``on_unavailable="partial"``
+    the engine degrades to partial results instead of propagating it.
+    """
+
+
+class FaultError(FlowtreeError):
+    """An injected failure from a :class:`~repro.distributed.faults.FaultPlan`.
+
+    Distinct from the organic error types so tests can assert that a
+    failure came from the harness, and so swallowing one can be linted
+    against (see the ``fault-reporting`` flowlint rule).
+    """

@@ -34,7 +34,7 @@ import json
 import multiprocessing
 import os
 from itertools import islice
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Protocol, Tuple
 
 from repro.core.config import FlowtreeConfig
 from repro.core.errors import ConfigurationError, WorkerError
@@ -55,6 +55,24 @@ from repro.core.sharded import (
     shard_index,
 )
 from repro.features.schema import FlowSchema, schema_by_name
+
+#: Fault seam consulted before each shard-batch submission.  The name is
+#: a literal mirror of ``repro.distributed.faults.FAULT_WORKER_CRASH``:
+#: the core layer sits below the distributed layer and must not import it.
+_FAULT_WORKER_CRASH = "parallel.worker-crash"
+
+
+class FaultHooks(Protocol):
+    """Structural type of the fault plan the core layer accepts.
+
+    Satisfied by :class:`repro.distributed.faults.FaultPlan` without the
+    core layer importing the distributed package.
+    """
+
+    def should_fire(self, name: str) -> bool:
+        """Whether the named fault fires at this occurrence."""
+        ...
+
 
 # Protocol opcodes (first byte of every parent -> worker message).
 _OP_BATCH = b"B"      # fold one aggregated sub-batch (no reply)
@@ -221,6 +239,7 @@ class ParallelShardedFlowtree:
         config: Optional[FlowtreeConfig] = None,
         num_workers: int = DEFAULT_NUM_SHARDS,
         start_method: Optional[str] = None,
+        faults: Optional[FaultHooks] = None,
     ) -> None:
         if num_workers < 1:
             raise ConfigurationError(f"num_workers must be at least 1, got {num_workers}")
@@ -240,6 +259,7 @@ class ParallelShardedFlowtree:
             )
         self._schema = schema
         self._config = config or FlowtreeConfig()
+        self._faults = faults
         self._num_workers = num_workers
         self._shard_config = shard_config_for(self._config, num_workers)
         self._context = worker_context(start_method)
@@ -459,6 +479,11 @@ class ParallelShardedFlowtree:
         items: List[Tuple[FlowKey, int, int, int]],
         record_count: int,
     ) -> None:
+        if self._faults is not None and self._faults.should_fire(_FAULT_WORKER_CRASH):
+            # Kill the worker *before* the journal gains this batch: the
+            # respawn replays checkpoint + journal (including this entry,
+            # appended below), so the fold stays byte-identical.
+            self.inject_worker_failure(index)
         handle = self._workers[index]
         pending = self._pending
         if pending is not None and pending.slots[index] is None:

@@ -9,6 +9,7 @@ from repro.devtools.lint.rules import (  # noqa: F401  (registration side effect
     atomic_commit,
     cache_coherence,
     exception_hygiene,
+    fault_reporting,
     fold_determinism,
     picklability,
     wire_format,

@@ -1,0 +1,74 @@
+"""fault-reporting: fault seams and supervision paths must not go silent.
+
+The fault-injection layer and the supervisor exist to make failures
+*visible*; an exception handler in those paths that swallows — neither
+re-raising, nor using the bound exception, nor reporting it — would
+quietly defeat them.  Two checks:
+
+1. In the fault-injection and supervision modules (``faults.py``,
+   ``supervisor.py``), **every** except handler — narrow types included —
+   must handle what it catches.
+2. Anywhere in the tree, a handler that catches :class:`FaultError` must
+   handle it: an injected failure exists solely to be observed, so a
+   handler that drops one on the floor is hiding exactly the signal the
+   fault plan was armed to produce.
+
+"Handles" means the same thing exception-hygiene means: re-raises,
+reads the bound exception, or calls a reporter.  Sites that genuinely
+must swallow say so with ``# flowlint: disable=fault-reporting``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.engine import FileContext, Finding, Rule, register
+from repro.devtools.lint.rules.exception_hygiene import _handler_handles
+
+#: Module basenames whose every handler is held to the reporting bar.
+_STRICT_FILES = ("faults.py", "supervisor.py")
+
+_FAULT_ERROR = "FaultError"
+
+
+def _catches_fault_error(type_node: ast.AST) -> bool:
+    if isinstance(type_node, ast.Name) and type_node.id == _FAULT_ERROR:
+        return True
+    if isinstance(type_node, ast.Attribute) and type_node.attr == _FAULT_ERROR:
+        return True
+    if isinstance(type_node, ast.Tuple):
+        return any(_catches_fault_error(element) for element in type_node.elts)
+    return False
+
+
+@register
+class FaultReportingRule(Rule):
+    name = "fault-reporting"
+    description = (
+        "fault seams and supervisor restart paths may not swallow exceptions "
+        "without re-raising, using or reporting them"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        strict = ctx.path.replace("\\", "/").rsplit("/", 1)[-1] in _STRICT_FILES
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is not None and _catches_fault_error(node.type):
+                if not _handler_handles(node):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "handler swallows an injected FaultError; the fault "
+                        "plan armed it to be observed — re-raise, record or "
+                        "report it",
+                    )
+                continue
+            if strict and not _handler_handles(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "handler in a fault-injection/supervision module swallows "
+                    "the exception; these paths must report every failure",
+                )

@@ -9,9 +9,21 @@ cross-site volume queries (scatter/gathered across collectors),
 drill-down and alarming on significant changes.
 """
 
+from repro.core.errors import CollectorUnavailableError, FaultError
 from repro.distributed.alerting import AlertManager, AlertPolicy
 from repro.distributed.collector import Collector, CollectorConfig
 from repro.distributed.daemon import DaemonStats, FlowtreeDaemon
+from repro.distributed.faults import (
+    FAULT_COLLECTOR_KILL,
+    FAULT_FRAME_CORRUPT,
+    FAULT_FRAME_DELAY,
+    FAULT_FRAME_DROP,
+    FAULT_FRAME_DUPLICATE,
+    FAULT_STORE_COMMIT,
+    FAULT_STORE_TORN_WRITE,
+    FAULT_WORKER_CRASH,
+    FaultPlan,
+)
 from repro.distributed.diffsync import (
     DiffSyncDecoder,
     DiffSyncEncoder,
@@ -26,12 +38,17 @@ from repro.distributed.messages import (
     TransferLog,
 )
 from repro.distributed.net import CollectorServer, NetConfig, SiteClient
-from repro.distributed.query_engine import DistributedQueryEngine
+from repro.distributed.query_engine import DistributedQueryEngine, GatherResult
 from repro.distributed.site import (
     Deployment,
     DeploymentCloseError,
     MonitoringSite,
     site_shard,
+)
+from repro.distributed.supervisor import (
+    CollectorHealth,
+    Supervisor,
+    SupervisorConfig,
 )
 from repro.distributed.stores import (
     MemoryStore,
@@ -75,4 +92,19 @@ __all__ = [
     "QueryRequest",
     "QueryResponse",
     "TransferLog",
+    "FaultPlan",
+    "FaultError",
+    "CollectorUnavailableError",
+    "FAULT_FRAME_DROP",
+    "FAULT_FRAME_DUPLICATE",
+    "FAULT_FRAME_CORRUPT",
+    "FAULT_FRAME_DELAY",
+    "FAULT_STORE_COMMIT",
+    "FAULT_STORE_TORN_WRITE",
+    "FAULT_COLLECTOR_KILL",
+    "FAULT_WORKER_CRASH",
+    "GatherResult",
+    "Supervisor",
+    "SupervisorConfig",
+    "CollectorHealth",
 ]

@@ -24,12 +24,18 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.config import FlowtreeConfig
-from repro.core.errors import ConfigurationError, DaemonError
+from repro.core.errors import (
+    CollectorUnavailableError,
+    ConfigurationError,
+    DaemonError,
+    SerializationError,
+)
 from repro.core.flowtree import Flowtree
 from repro.core.key import FlowKey
 from repro.core.operators import merge_all
 from repro.core.serialization import from_bytes, to_bytes
 from repro.distributed.diffsync import DiffSyncDecoder
+from repro.distributed.faults import FAULT_COLLECTOR_KILL, FaultPlan
 from repro.distributed.messages import SummaryMessage
 from repro.distributed.stores import STORE_KINDS, TimeSeriesStore, open_store
 from repro.distributed.stores.base import (
@@ -117,6 +123,7 @@ class Collector:
         storage_config: Optional[FlowtreeConfig] = None,
         config: Optional[CollectorConfig] = None,
         store: Optional[TimeSeriesStore] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         """``config`` wins over the legacy ``bin_width``/``storage_config``
         arguments; a prebuilt ``store`` wins over ``config.store``."""
@@ -131,6 +138,16 @@ class Collector:
         self._store = store if store is not None else open_store(
             config.store, config.store_path, cache_bins=config.cache_bins
         )
+        self._faults = faults
+        if faults is not None:
+            self._store.attach_faults(faults)
+        #: ``None`` = alive; otherwise the reason the collector went down.
+        self._killed: Optional[str] = None
+        #: Messages drained from the transport but not yet ingested (the
+        #: transport acked them, so a failed ingest must keep them for
+        #: retry instead of losing them).
+        self._backlog: List[SummaryMessage] = []
+        self._corrupt_dropped = 0
         self._decoder = DiffSyncDecoder()
         self._series: Dict[str, FlowtreeTimeSeries] = {}
         self._seen: Dict[str, Set[Tuple[int, int]]] = {}
@@ -210,17 +227,106 @@ class Collector:
         """Messages for bins below a site's retention horizon, skipped."""
         return self._expired_dropped
 
+    @property
+    def corrupt_dropped(self) -> int:
+        """Messages with undecodable payloads, dropped as poison."""
+        return self._corrupt_dropped
+
+    @property
+    def pending_backlog(self) -> int:
+        """Drained-but-not-ingested messages awaiting the next poll."""
+        return len(self._backlog)
+
+    # -- health -----------------------------------------------------------------------
+
+    @property
+    def healthy(self) -> bool:
+        """Whether the collector is serving (not killed)."""
+        return self._killed is None
+
+    @property
+    def kill_reason(self) -> Optional[str]:
+        """Why the collector is down, or ``None`` when healthy."""
+        return self._killed
+
+    def kill(self, reason: str = "killed") -> None:
+        """Mark the collector dead: every entry point raises until it is
+        revived (memory store) or reopened (durable store)."""
+        self._killed = reason
+
+    def revive(self) -> None:
+        """Bring a killed *in-memory* collector back.
+
+        Models a service restart where process state survived (the memory
+        backend holds the trees); durable collectors come back through
+        :meth:`reopen`, which rebuilds state from the backend instead.
+        """
+        self._killed = None
+
+    def ping(self) -> bool:
+        """Cheap liveness probe (raises when killed) for heartbeat checks."""
+        self._ensure_alive()
+        return True
+
+    def _ensure_alive(self) -> None:
+        if self._killed is not None:
+            raise CollectorUnavailableError(
+                f"collector {self._name!r} is down: {self._killed}"
+            )
+
     # -- ingestion --------------------------------------------------------------------
 
     def poll(self, limit: Optional[int] = None) -> int:
-        """Drain pending summaries from the transport; returns how many were processed."""
+        """Drain pending summaries from the transport; returns how many were processed.
+
+        The transport acknowledged every drained message, so a failed
+        ingest must not lose the rest of the drain: unprocessed messages
+        go to an internal backlog the next poll retries.  Poison messages
+        (payloads that cannot decode, geometry mismatches) are dropped —
+        retrying them can never succeed — while transient failures (store
+        commit errors, a killed collector) keep the failing message itself
+        queued for retry.
+        """
+        self._ensure_alive()
+        pending: List[object] = list(self._backlog)
+        self._backlog = []
+        if limit is None:
+            pending.extend(m for _, m in self._transport.receive(self._name))
+        elif len(pending) < limit:
+            pending.extend(
+                m for _, m in self._transport.receive(self._name, limit=limit - len(pending))
+            )
         processed = 0
-        for _, message in self._transport.receive(self._name, limit=limit):
+        for index, message in enumerate(pending):
             if not isinstance(message, SummaryMessage):
+                # Poison: drop it, keep everything behind it.
+                self._backlog = list(pending[index + 1 :])
                 raise DaemonError(
                     f"collector received unexpected message type {type(message).__name__}"
                 )
-            self.ingest(message)
+            try:
+                self.ingest(message)
+            except SerializationError:
+                # Poison payload (corruption that slipped past transport
+                # checks): a retry cannot succeed — count and drop it so
+                # the acked messages behind it still get through.
+                self._corrupt_dropped += 1
+                continue
+            except CollectorUnavailableError:
+                # Transient: the collector died mid-drain; retry this very
+                # message once it is revived/reopened.
+                self._backlog = list(pending[index:])
+                raise
+            except DaemonError:
+                # Validation poison (geometry / alignment mismatch): the
+                # message can never be accepted; drop it, keep the rest.
+                self._backlog = list(pending[index + 1 :])
+                raise
+            except BaseException:
+                # Transient (store commit failure, ...): keep the failing
+                # message for retry — it was acked and must not be lost.
+                self._backlog = list(pending[index:])
+                raise
             processed += 1
         return processed
 
@@ -267,6 +373,12 @@ class Collector:
         failed durable write leaves the collector exactly as before the
         call and a retry of the same message goes through cleanly.
         """
+        self._ensure_alive()
+        if self._faults is not None and self._faults.should_fire(FAULT_COLLECTOR_KILL):
+            self.kill("fault injection [collector.kill]: killed mid-ingest")
+            raise CollectorUnavailableError(
+                f"collector {self._name!r} was killed mid-ingest (fault injection)"
+            )
         self._validate_geometry(message)
         site = message.site
         horizon = self._horizon.get(site)
@@ -359,7 +471,12 @@ class Collector:
         exactly where the killed one stopped: pending diffs decode against
         the recovered baselines and duplicate replays stay dropped.
         Returns the recovered site names.
+
+        A killed collector comes back alive; its drained-but-uningested
+        backlog is preserved (those messages were acked at the transport
+        and would otherwise be lost).
         """
+        self._killed = None
         self._series = {}
         self._seen = {}
         self._horizon = {}
@@ -410,6 +527,7 @@ class Collector:
 
     def site_series(self, site: str) -> FlowtreeTimeSeries:
         """The per-bin series of one site (raises for unknown sites)."""
+        self._ensure_alive()
         series = self._series.get(site)
         if series is None:
             raise DaemonError(f"no summaries received from site {site!r}")
@@ -425,6 +543,7 @@ class Collector:
 
         Only the bins inside the range are materialized from the backend.
         """
+        self._ensure_alive()
         selected_sites = list(sites) if sites is not None else self.sites
         trees = []
         for site in selected_sites:
@@ -461,6 +580,7 @@ class Collector:
         caches of :func:`~repro.core.estimator.estimate_many` instead of
         dispatching one estimate per (key, site, bin).
         """
+        self._ensure_alive()
         key_list = list(keys)
         selected_sites = list(sites) if sites is not None else self.sites
         per_site: Dict[str, Dict[FlowKey, int]] = {}

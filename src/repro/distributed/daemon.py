@@ -32,6 +32,7 @@ from repro.core.parallel import ParallelShardedFlowtree, PendingSummaries
 from repro.core.serialization import from_bytes
 from repro.core.sharded import ShardedFlowtree
 from repro.distributed.diffsync import DiffSyncEncoder
+from repro.distributed.faults import FaultPlan
 from repro.distributed.messages import SummaryMessage
 from repro.distributed.transport import Transport
 from repro.features.schema import FlowSchema
@@ -81,6 +82,7 @@ class FlowtreeDaemon:
         use_diffs: bool = True,
         full_every: int = 10,
         workers: int = 0,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if bin_width <= 0:
             raise DaemonError(f"bin_width must be positive, got {bin_width}")
@@ -94,6 +96,7 @@ class FlowtreeDaemon:
         self._config = config or FlowtreeConfig()
         self._encoder = DiffSyncEncoder(prefer_diff=use_diffs, full_every=full_every)
         self._workers = workers
+        self._faults = faults
         self._pool: Optional[ParallelShardedFlowtree] = None
         self._pending_export: Optional[_PendingBinExport] = None
         self._current: Optional[Union[Flowtree, ParallelShardedFlowtree]] = None
@@ -353,7 +356,10 @@ class FlowtreeDaemon:
         if self._workers:
             if self._pool is None:
                 self._pool = ParallelShardedFlowtree(
-                    self._schema, self._config, num_workers=self._workers
+                    self._schema,
+                    self._config,
+                    num_workers=self._workers,
+                    faults=self._faults,
                 )
             # The pool is reset by the previous bin's summarize-and-reset
             # command, so the new bin starts empty without a join here.

@@ -65,13 +65,24 @@ class QueryRequest:
 
 @dataclass(frozen=True)
 class QueryResponse:
-    """Result of a :class:`QueryRequest`: total plus per-site / per-bin breakdowns."""
+    """Result of a :class:`QueryRequest`: total plus per-site / per-bin breakdowns.
+
+    ``unavailable_collectors`` is non-empty only when the engine ran with
+    ``on_unavailable="partial"`` and degraded: the totals then cover the
+    reachable collectors only (and ``exact`` is forced off).
+    """
 
     request_id: int
     total: int
     per_site: Dict[str, int] = field(default_factory=dict)
     per_bin: Dict[int, int] = field(default_factory=dict)
     exact: bool = False
+    unavailable_collectors: Tuple[str, ...] = ()
+
+    @property
+    def partial(self) -> bool:
+        """Whether any collector was unreachable when this was computed."""
+        return bool(self.unavailable_collectors)
 
 
 @dataclass(frozen=True)

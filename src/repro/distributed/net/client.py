@@ -42,6 +42,13 @@ from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.core.errors import TransportError
+from repro.distributed.faults import (
+    FAULT_FRAME_CORRUPT,
+    FAULT_FRAME_DELAY,
+    FAULT_FRAME_DROP,
+    FAULT_FRAME_DUPLICATE,
+    FaultPlan,
+)
 from repro.distributed.messages import SummaryMessage
 from repro.distributed.net.framing import (
     SUMMARY_FRAME_ENVELOPE,
@@ -74,6 +81,8 @@ class SiteClient(TransferAccounting):
         backoff_base: float = 0.05,
         backoff_max: float = 2.0,
         backoff_jitter: float = 0.5,
+        rng: Optional[random.Random] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if max_pending < 1:
             raise TransportError(f"max_pending must be positive, got {max_pending}")
@@ -92,6 +101,10 @@ class SiteClient(TransferAccounting):
         self._backoff_base = backoff_base
         self._backoff_max = backoff_max
         self._backoff_jitter = backoff_jitter
+        # Injectable so reconnect timing is deterministic under test and
+        # in fault plans (plan.rng_for("net.client.backoff/<site>")).
+        self._rng = rng if rng is not None else random.Random()
+        self._faults = faults
         self._known: Set[str] = set()
         self._runtime: Optional[EventLoopThread] = None
         self._queue: Optional["asyncio.Queue[bytes]"] = None
@@ -326,7 +339,46 @@ class SiteClient(TransferAccounting):
 
     def _backoff_delay(self, attempt: int) -> float:
         delay = min(self._backoff_max, self._backoff_base * (2 ** (attempt - 1)))
-        return delay * (1.0 + random.random() * self._backoff_jitter)
+        return delay * (1.0 + self._rng.random() * self._backoff_jitter)
+
+    async def _apply_frame_faults(self, wire: bytes) -> bytes:
+        """Mutate or reject one outgoing frame per the armed fault plan.
+
+        Drop is modeled as the connection dying mid-send (raising here),
+        not as a silent skip: a skipped frame with no follow-up traffic
+        would never trip the server's sequence check, and the backlog
+        only replays on reconnect.  Every unsent body is already in
+        ``self._unacked``, so tearing the connection down loses nothing.
+        """
+        faults = self._faults
+        assert faults is not None
+        if faults.should_fire(FAULT_FRAME_DELAY):
+            await asyncio.sleep(faults.rng_for(FAULT_FRAME_DELAY).uniform(0.0, 0.05))
+        if faults.should_fire(FAULT_FRAME_DROP):
+            raise ConnectionResetError("fault injection: connection torn down mid-send")
+        if faults.should_fire(FAULT_FRAME_CORRUPT):
+            rng = faults.rng_for(FAULT_FRAME_CORRUPT)
+            # Never flip the length prefix: that desyncs the stream at a
+            # nondeterministic point.  Anything after it (CRC field or
+            # body) is caught by the server's frame CRC check.
+            index = rng.randrange(4, len(wire))
+            corrupted = bytearray(wire)
+            corrupted[index] ^= 0xFF
+            wire = bytes(corrupted)
+        if faults.should_fire(FAULT_FRAME_DUPLICATE):
+            # Same frame number twice: the server's sequence check kills
+            # the connection and the un-acked chunk is resent cleanly.
+            return wire + wire
+        return wire
+
+    async def _transmit(
+        self, writer: asyncio.StreamWriter, frame_no: int, body: bytes
+    ) -> None:
+        """Encode and write one SUMMARY frame, applying fault seams."""
+        wire = encode_frame(encode_summary(frame_no, body))
+        if self._faults is not None:
+            wire = await self._apply_frame_faults(wire)
+        writer.write(wire)
 
     async def _run(self) -> None:
         """Connect, replay backlog, stream the queue; retry forever on loss."""
@@ -363,7 +415,7 @@ class SiteClient(TransferAccounting):
         backlog = list(self._unacked)
         for body in backlog:
             state["sent"] += 1
-            writer.write(encode_frame(encode_summary(state["sent"], body)))
+            await self._transmit(writer, state["sent"], body)
         if backlog:
             self._bump("frames_resent", len(backlog))
         await writer.drain()
@@ -382,7 +434,7 @@ class SiteClient(TransferAccounting):
                     self._unacked.append(body)
                     state["sent"] += 1
                     self._bump("frames_sent")
-                    writer.write(encode_frame(encode_summary(state["sent"], body)))
+                    await self._transmit(writer, state["sent"], body)
                 if reader_task in done:
                     if get_task not in done:
                         get_task.cancel()

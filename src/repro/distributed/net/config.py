@@ -30,6 +30,8 @@ class NetConfig:
         connect_timeout: per-attempt TCP connect timeout.
         backoff_base: first reconnect delay; doubles per failed attempt.
         backoff_max: cap on the reconnect delay.
+        backoff_jitter: random stretch factor on each delay (``0`` =
+            fully deterministic backoff).
         drain_timeout: how long ``run()``/``close()`` wait for all
             summaries to be acknowledged before raising.
     """
@@ -41,6 +43,7 @@ class NetConfig:
     connect_timeout: float = 5.0
     backoff_base: float = 0.05
     backoff_max: float = 2.0
+    backoff_jitter: float = 0.5
     drain_timeout: float = 30.0
 
     def __post_init__(self) -> None:
@@ -49,6 +52,10 @@ class NetConfig:
         if self.backoff_base <= 0 or self.backoff_max < self.backoff_base:
             raise ConfigurationError(
                 f"invalid backoff window [{self.backoff_base}, {self.backoff_max}]"
+            )
+        if self.backoff_jitter < 0:
+            raise ConfigurationError(
+                f"backoff_jitter must be non-negative, got {self.backoff_jitter}"
             )
         if self.drain_timeout <= 0:
             raise ConfigurationError(

@@ -1,7 +1,13 @@
 """Length-prefixed wire framing for the site -> collector TCP transport.
 
-Every frame is ``u32 body-length | body``; the first body byte is the
-frame type.  Three frame types make up the protocol:
+Every frame is ``u32 body-length | u32 body-crc32 | body``; the first
+body byte is the frame type.  The CRC-32 covers the body and is verified
+by :class:`FrameDecoder` before any body byte is parsed, so a corrupted
+frame — a flipped bit on the wire, a buggy middlebox, an injected
+``net.client.frame-corrupt`` fault — is detected deterministically at the
+framing layer: the connection is killed, the frame is never acknowledged,
+and the client's resend delivers the clean bytes.  Three frame types make
+up the protocol:
 
 * ``HELLO`` — sent once per connection by the client: protocol version,
   the sending site's endpoint name, the destination collector name, and
@@ -29,6 +35,7 @@ yields exactly the completed frames, keeping any torn tail buffered.
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass
 from typing import List, Union
 
@@ -38,8 +45,10 @@ from repro.distributed.messages import SUMMARY_DIFF, SUMMARY_FULL, SummaryMessag
 
 #: Bumped on any incompatible change to the frame layout below.
 #: Version 2 extended the HELLO body with the payload format advertisement
-#: (summary format + sub-batch format version bytes).
-PROTOCOL_VERSION = 2
+#: (summary format + sub-batch format version bytes).  Version 3 added the
+#: per-frame CRC-32 trailer to the envelope (``length | crc | body``); a
+#: v2 peer's frames fail the CRC check and are rejected before parsing.
+PROTOCOL_VERSION = 3
 
 FRAME_HELLO = 1
 FRAME_SUMMARY = 2
@@ -50,6 +59,7 @@ FRAME_ACK = 3
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 _LENGTH = struct.Struct("!I")
+_CRC = struct.Struct("!I")
 _HELLO_HEAD = struct.Struct("!BIH")
 _HELLO_FORMATS = struct.Struct("!BB")
 _SUMMARY_HEAD = struct.Struct("!BQ")
@@ -60,10 +70,10 @@ _KIND_CODES = {SUMMARY_FULL: 0, SUMMARY_DIFF: 1}
 _KIND_NAMES = {code: kind for kind, code in _KIND_CODES.items()}
 
 #: Wire bytes of a SUMMARY frame that are pure envelope (length prefix +
-#: type + frame number); the rest of the non-payload bytes depend on the
-#: message (site name length), so senders compute overhead as
-#: ``SUMMARY_FRAME_ENVELOPE + (len(body) - len(payload))``.
-SUMMARY_FRAME_ENVELOPE = _LENGTH.size + struct.calcsize("!BQ")
+#: CRC trailer + type + frame number); the rest of the non-payload bytes
+#: depend on the message (site name length), so senders compute overhead
+#: as ``SUMMARY_FRAME_ENVELOPE + (len(body) - len(payload))``.
+SUMMARY_FRAME_ENVELOPE = _LENGTH.size + _CRC.size + struct.calcsize("!BQ")
 
 
 @dataclass(frozen=True)
@@ -112,12 +122,12 @@ def _encode_name(name: str) -> bytes:
 
 
 def encode_frame(body: bytes) -> bytes:
-    """Wrap one frame body with its length prefix."""
+    """Wrap one frame body with its length prefix and CRC-32."""
     if len(body) > MAX_FRAME_BYTES:
         raise TransportError(
             f"frame body of {len(body)} bytes exceeds the {MAX_FRAME_BYTES} byte limit"
         )
-    return _LENGTH.pack(len(body)) + body
+    return _LENGTH.pack(len(body)) + _CRC.pack(zlib.crc32(body) & 0xFFFFFFFF) + body
 
 
 def encode_hello(
@@ -267,7 +277,7 @@ def decode_body(body: bytes) -> Frame:
     """Decode one complete frame body into its typed frame object."""
     if not body:
         raise TransportError("empty frame body")
-    wire_bytes = _LENGTH.size + len(body)
+    wire_bytes = _LENGTH.size + _CRC.size + len(body)
     frame_type = body[0]
     if frame_type == FRAME_HELLO:
         return _decode_hello(body, wire_bytes)
@@ -296,9 +306,16 @@ class FrameDecoder:
         return len(self._buffer)
 
     def feed(self, data: bytes) -> List[Frame]:
-        """Absorb one chunk; return every frame it completed (maybe none)."""
+        """Absorb one chunk; return every frame it completed (maybe none).
+
+        Raises :class:`~repro.core.errors.TransportError` on a CRC
+        mismatch; frames decoded earlier in the same chunk are discarded
+        with the connection — none of them were acknowledged yet, so the
+        peer's resend redelivers them.
+        """
         self._buffer.extend(data)
         frames: List[Frame] = []
+        header = _LENGTH.size + _CRC.size
         while True:
             if len(self._buffer) < _LENGTH.size:
                 break
@@ -308,9 +325,15 @@ class FrameDecoder:
                     f"frame length {length} exceeds the {MAX_FRAME_BYTES} byte limit "
                     "(corrupt or non-protocol stream)"
                 )
-            if len(self._buffer) < _LENGTH.size + length:
+            if len(self._buffer) < header + length:
                 break
-            body = bytes(self._buffer[_LENGTH.size : _LENGTH.size + length])
-            del self._buffer[: _LENGTH.size + length]
+            (crc,) = _CRC.unpack_from(bytes(self._buffer[_LENGTH.size : header]), 0)
+            body = bytes(self._buffer[header : header + length])
+            if (zlib.crc32(body) & 0xFFFFFFFF) != crc:
+                raise TransportError(
+                    "frame CRC mismatch (corrupted bytes or a peer speaking "
+                    f"a pre-{PROTOCOL_VERSION} protocol)"
+                )
+            del self._buffer[: header + length]
             frames.append(decode_body(body))
         return frames

@@ -36,8 +36,8 @@ import threading
 from collections import deque
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
-from repro.core.errors import TransportError
-from repro.core.serialization import BATCH_FORMAT_VERSION, FORMAT_VERSION
+from repro.core.errors import SerializationError, TransportError
+from repro.core.serialization import BATCH_FORMAT_VERSION, FORMAT_VERSION, summary_header
 from repro.distributed.net.framing import (
     FrameDecoder,
     HelloFrame,
@@ -227,7 +227,17 @@ class CollectorServer(TransferAccounting):
                 if not chunk:
                     break
                 accepted = False
-                for frame in decoder.feed(chunk):
+                try:
+                    frames = decoder.feed(chunk)
+                except TransportError:
+                    # CRC mismatch or a corrupted length prefix: count it
+                    # like any other protocol violation, then let the
+                    # outer handler kill the connection — nothing in the
+                    # bad chunk was acked, so the resend redelivers it.
+                    with self._state_lock:
+                        self._stats["protocol_errors"] += 1
+                    raise
+                for frame in frames:
                     if isinstance(frame, HelloFrame):
                         if hello is not None:
                             raise self._protocol_error("duplicate HELLO on one connection")
@@ -260,6 +270,18 @@ class CollectorServer(TransferAccounting):
                                 f"out-of-sequence frame {frame.frame_no} "
                                 f"(expected {delivered + 1}) from site {hello.site!r}"
                             )
+                        # A well-formed frame can still carry a summary
+                        # payload that is garbage (sender bug, pre-frame
+                        # corruption).  Validate the payload header before
+                        # enqueueing: the connection is killed, the frame
+                        # never acked, and nothing reaches the collector.
+                        try:
+                            summary_header(frame.message.payload)
+                        except SerializationError as exc:
+                            raise self._protocol_error(
+                                f"corrupt summary payload from site "
+                                f"{hello.site!r}: {exc}"
+                            ) from exc
                         self._enqueue(hello, frame)
                         delivered += 1
                         accepted = True

@@ -15,20 +15,49 @@ each collector being its own store — and gathers the partial answers with
 a per-key combiner.  Site partitions are disjoint, so combining is plain
 summation of totals and union of per-site maps, and the result is
 byte-identical to the single-collector answer over the same summaries.
+
+Degradation: the gather takes a per-query ``timeout`` and an
+``on_unavailable`` policy.  ``"raise"`` (default) turns a dead or wedged
+collector into a :class:`~repro.core.errors.QueryError`; ``"partial"``
+returns the reachable collectors' totals annotated with the names of the
+unreachable ones (``QueryResponse.unavailable_collectors``), so an
+operator still sees most of the network while one collector restarts.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.core.errors import QueryError
+from repro.core.errors import CollectorUnavailableError, QueryError, TransportError
 from repro.core.estimator import DrilldownStep, children_of, drill_down
 from repro.core.flowtree import Flowtree
 from repro.core.key import FlowKey
 from repro.core.operators import merge_all
 from repro.distributed.collector import Collector
 from repro.distributed.messages import QueryRequest, QueryResponse
+
+#: Error types that mean "this collector cannot answer right now" (as
+#: opposed to "this query is wrong"); the gather maps them to the
+#: ``on_unavailable`` policy.
+UNAVAILABLE_ERRORS = (CollectorUnavailableError, TransportError, OSError)
+
+
+@dataclass(frozen=True)
+class GatherResult:
+    """One scatter/gather's combined answer plus its degradation record."""
+
+    totals: Dict[FlowKey, int]
+    per_site: Dict[str, Dict[FlowKey, int]]
+    unavailable: Tuple[str, ...] = field(default=())
+
+    @property
+    def partial(self) -> bool:
+        """Whether any collector failed to contribute."""
+        return bool(self.unavailable)
 
 
 def _query_collector(
@@ -48,12 +77,34 @@ def _query_collector(
 class DistributedQueryEngine:
     """Executes hierarchical flow queries across sites, bins and collectors."""
 
-    def __init__(self, collectors: Union[Collector, Sequence[Collector]]) -> None:
+    def __init__(
+        self,
+        collectors: Union[Collector, Sequence[Collector]],
+        timeout: Optional[float] = None,
+        on_unavailable: str = "raise",
+    ) -> None:
+        """Args:
+            collectors: one collector or the deployment's collector list.
+            timeout: per-query budget (seconds) for the whole gather; a
+                collector that has not answered when it expires counts as
+                unavailable.  ``None`` waits indefinitely.
+            on_unavailable: ``"raise"`` (default) turns an unreachable
+                collector into a :class:`QueryError`; ``"partial"``
+                degrades to the reachable collectors' answer, annotated.
+        """
         if isinstance(collectors, Collector):
             collectors = [collectors]
         if not collectors:
             raise QueryError("the query engine needs at least one collector")
+        if timeout is not None and timeout <= 0:
+            raise QueryError(f"query timeout must be positive, got {timeout}")
+        if on_unavailable not in ("raise", "partial"):
+            raise QueryError(
+                f'on_unavailable must be "raise" or "partial", got {on_unavailable!r}'
+            )
         self._collectors: List[Collector] = list(collectors)
+        self._timeout = timeout
+        self._on_unavailable = on_unavailable
         self._next_request_id = 1
 
     # -- topology ----------------------------------------------------------------------
@@ -62,6 +113,16 @@ class DistributedQueryEngine:
     def collectors(self) -> List[Collector]:
         """Every collector this engine queries."""
         return list(self._collectors)
+
+    @property
+    def timeout(self) -> Optional[float]:
+        """Per-query gather budget in seconds (``None`` = unbounded)."""
+        return self._timeout
+
+    @property
+    def on_unavailable(self) -> str:
+        """Degradation policy: ``"raise"`` or ``"partial"``."""
+        return self._on_unavailable
 
     @property
     def sites(self) -> List[str]:
@@ -110,53 +171,96 @@ class DistributedQueryEngine:
         return grouped
 
     def _schema_key(self, key_wire: Sequence[str]) -> FlowKey:
+        # Every collector shares the schema, so any reachable one serves;
+        # a down collector is skipped regardless of policy (if it is the
+        # only one, the gather itself reports it).
         for collector in self._collectors:
-            if collector.sites:
-                schema = collector.site_series(collector.sites[0]).schema
-                return FlowKey.from_wire(schema, tuple(key_wire))
+            try:
+                sites = collector.sites
+                if sites:
+                    schema = collector.site_series(sites[0]).schema
+                    return FlowKey.from_wire(schema, tuple(key_wire))
+            except UNAVAILABLE_ERRORS:
+                continue
         raise QueryError("no collector has received any summaries yet")
+
+    def _mark_unavailable(
+        self,
+        collector: Collector,
+        detail: str,
+        cause: BaseException,
+        unavailable: List[str],
+    ) -> None:
+        """Apply the ``on_unavailable`` policy to one failed collector."""
+        if self._on_unavailable == "raise":
+            raise QueryError(
+                f"collector {collector.name!r} is unavailable: {detail}"
+            ) from cause
+        if collector.name not in unavailable:
+            unavailable.append(collector.name)
 
     # -- request/response interface ----------------------------------------------------
 
     def execute(self, request: QueryRequest) -> QueryResponse:
-        """Run a :class:`QueryRequest` and return its :class:`QueryResponse`."""
+        """Run a :class:`QueryRequest` and return its :class:`QueryResponse`.
+
+        With ``on_unavailable="partial"`` a dead collector's sites are
+        simply absent from the breakdowns; its name lands in
+        ``unavailable_collectors`` and ``exact`` is forced off (the
+        missing sites' contribution is unknown).
+        """
         owners = self._resolve_sites(request.sites)
         key = self._schema_key(request.key_wire)
-        totals, per_site_many = self.estimate_many(
+        result = self.estimate_many_detailed(
             [key],
             sites=sorted(owners),
             start_bin=request.start_bin,
             end_bin=request.end_bin,
             metric=request.metric,
         )
-        per_site = {site: values[key] for site, values in per_site_many.items()}
-        per_bin = self._per_bin(key, request, owners)
-        exact = all(
-            key in tree
-            for site, collector in owners.items()
-            for _, tree in collector.site_series(site).bins()
-        )
+        unavailable = list(result.unavailable)
+        per_site = {site: values[key] for site, values in result.per_site.items()}
+        per_bin, exact = self._per_bin_exact(key, request, owners, unavailable)
         return QueryResponse(
             request_id=request.request_id,
-            total=totals[key],
+            total=result.totals[key],
             per_site=per_site,
             per_bin=per_bin,
-            exact=exact,
+            exact=exact and not unavailable,
+            unavailable_collectors=tuple(unavailable),
         )
 
-    def _per_bin(
-        self, key: FlowKey, request: QueryRequest, owners: Dict[str, Collector]
-    ) -> Dict[int, int]:
+    def _per_bin_exact(
+        self,
+        key: FlowKey,
+        request: QueryRequest,
+        owners: Dict[str, Collector],
+        unavailable: List[str],
+    ) -> Tuple[Dict[int, int], bool]:
+        """Per-bin breakdown + exactness over the *reachable* owners.
+
+        Collectors already marked unavailable by the gather are skipped;
+        one that dies between the gather and this pass is marked here
+        (``unavailable`` is extended in place).
+        """
         per_bin: Dict[int, int] = {}
+        exact = True
         for site, collector in owners.items():
-            series = collector.site_series(site)
-            for index, value in series.series(key, metric=request.metric).items():
-                if request.start_bin is not None and index < request.start_bin:
-                    continue
-                if request.end_bin is not None and index > request.end_bin:
-                    continue
-                per_bin[index] = per_bin.get(index, 0) + value
-        return per_bin
+            if collector.name in unavailable:
+                continue
+            try:
+                series = collector.site_series(site)
+                for index, value in series.series(key, metric=request.metric).items():
+                    if request.start_bin is not None and index < request.start_bin:
+                        continue
+                    if request.end_bin is not None and index > request.end_bin:
+                        continue
+                    per_bin[index] = per_bin.get(index, 0) + value
+                if exact:
+                    exact = all(key in tree for _, tree in series.bins())
+            except UNAVAILABLE_ERRORS as exc:
+                self._mark_unavailable(collector, str(exc), exc, unavailable)
+        return per_bin, exact
 
     # -- scatter/gather estimation -------------------------------------------------------
 
@@ -175,32 +279,108 @@ class DistributedQueryEngine:
         partial answers per key.  The site partitions are disjoint, so the
         combiner is summation for totals and union for the per-site map;
         gathering follows collector order, keeping results deterministic.
+
+        See :meth:`estimate_many_detailed` for the variant that also
+        reports which collectors were unreachable in ``"partial"`` mode.
+        """
+        result = self.estimate_many_detailed(
+            keys, sites=sites, start_bin=start_bin, end_bin=end_bin, metric=metric
+        )
+        return result.totals, result.per_site
+
+    def estimate_many_detailed(
+        self,
+        keys: Sequence[FlowKey],
+        sites: Optional[Sequence[str]] = None,
+        start_bin: Optional[int] = None,
+        end_bin: Optional[int] = None,
+        metric: str = "packets",
+    ) -> GatherResult:
+        """:meth:`estimate_many` plus the gather's degradation record.
+
+        A collector that raises an unavailability error or misses the
+        engine's ``timeout`` is handled per ``on_unavailable``: ``"raise"``
+        converts it into a :class:`QueryError`; ``"partial"`` leaves its
+        sites out of the answer and lists it in ``unavailable``.
         """
         key_list = list(keys)
         owners = self._resolve_sites(sites)
         grouped = self._scatter(self._group_by_collector(owners))
         totals: Dict[FlowKey, int] = {key: 0 for key in key_list}
         per_site: Dict[str, Dict[FlowKey, int]] = {}
-        if len(grouped) <= 1:
-            partials = [
-                _query_collector(collector, site_names, key_list, start_bin, end_bin, metric)
-                for collector, site_names in grouped
-            ]
-        else:
-            with ThreadPoolExecutor(max_workers=len(grouped)) as pool:
-                futures = [
-                    pool.submit(
-                        _query_collector, collector, site_names,
-                        key_list, start_bin, end_bin, metric,
+        unavailable: List[str] = []
+        if len(grouped) <= 1 and self._timeout is None:
+            partials = []
+            for collector, site_names in grouped:
+                try:
+                    partials.append(
+                        _query_collector(
+                            collector, site_names, key_list, start_bin, end_bin, metric
+                        )
                     )
-                    for collector, site_names in grouped
-                ]
-                partials = [future.result() for future in futures]
+                except UNAVAILABLE_ERRORS as exc:
+                    self._mark_unavailable(collector, str(exc), exc, unavailable)
+        else:
+            partials = self._gather(
+                grouped, key_list, start_bin, end_bin, metric, unavailable
+            )
         for partial_totals, partial_per_site in partials:
             for key, value in partial_totals.items():
                 totals[key] += value
             per_site.update(partial_per_site)
-        return totals, per_site
+        return GatherResult(
+            totals=totals, per_site=per_site, unavailable=tuple(unavailable)
+        )
+
+    def _gather(
+        self,
+        grouped: List[Tuple[Collector, List[str]]],
+        key_list: List[FlowKey],
+        start_bin: Optional[int],
+        end_bin: Optional[int],
+        metric: str,
+        unavailable: List[str],
+    ) -> List[Tuple[Dict[FlowKey, int], Dict[str, Dict[FlowKey, int]]]]:
+        """Concurrent scatter with one shared deadline across all futures.
+
+        The pool is shut down without waiting (``cancel_futures``): a
+        wedged collector's thread must not block the query's return —
+        that is the hang this timeout exists to prevent.
+        """
+        pool = ThreadPoolExecutor(max_workers=max(1, len(grouped)))
+        partials: List[Tuple[Dict[FlowKey, int], Dict[str, Dict[FlowKey, int]]]] = []
+        try:
+            futures = [
+                (
+                    collector,
+                    pool.submit(
+                        _query_collector, collector, site_names,
+                        key_list, start_bin, end_bin, metric,
+                    ),
+                )
+                for collector, site_names in grouped
+            ]
+            deadline = (
+                None if self._timeout is None else time.monotonic() + self._timeout
+            )
+            for collector, future in futures:
+                budget = (
+                    None if deadline is None else max(0.0, deadline - time.monotonic())
+                )
+                try:
+                    partials.append(future.result(timeout=budget))
+                except FuturesTimeoutError as exc:
+                    self._mark_unavailable(
+                        collector,
+                        f"no answer within the {self._timeout}s query timeout",
+                        exc,
+                        unavailable,
+                    )
+                except UNAVAILABLE_ERRORS as exc:
+                    self._mark_unavailable(collector, str(exc), exc, unavailable)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return partials
 
     # -- typed convenience queries -------------------------------------------------------
 
@@ -229,13 +409,25 @@ class DistributedQueryEngine:
         start_bin: Optional[int],
         end_bin: Optional[int],
     ) -> Flowtree:
-        """One summary over the chosen sites/bins, gathered across collectors."""
+        """One summary over the chosen sites/bins, gathered across collectors.
+
+        With ``on_unavailable="partial"`` a dead collector's sites are
+        left out of the merge (degraded view); ``"raise"`` converts the
+        failure into a :class:`QueryError`.
+        """
         owners = self._resolve_sites(sites)
         trees = []
+        skipped: List[str] = []
         for site in sorted(owners):
-            trees.extend(
-                owners[site].site_series(site).trees_in_range(start_bin, end_bin)
-            )
+            collector = owners[site]
+            if collector.name in skipped:
+                continue
+            try:
+                trees.extend(
+                    collector.site_series(site).trees_in_range(start_bin, end_bin)
+                )
+            except UNAVAILABLE_ERRORS as exc:
+                self._mark_unavailable(collector, str(exc), exc, skipped)
         if not trees:
             raise QueryError("no summaries match the requested sites/bins")
         return merge_all(trees)

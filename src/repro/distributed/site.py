@@ -34,9 +34,11 @@ from repro.core.errors import DaemonError
 from repro.distributed.alerting import AlertManager, AlertPolicy
 from repro.distributed.collector import Collector, CollectorConfig
 from repro.distributed.daemon import DEFAULT_BATCH_SIZE, FlowtreeDaemon
+from repro.distributed.faults import FaultPlan
 from repro.distributed.messages import Alert
 from repro.distributed.net import CollectorServer, NetConfig, SiteClient
 from repro.distributed.query_engine import DistributedQueryEngine
+from repro.distributed.supervisor import Supervisor, SupervisorConfig
 from repro.distributed.transport import SimulatedTransport, Transport
 from repro.features.schema import FlowSchema
 
@@ -109,6 +111,9 @@ class Deployment:
         transport: str = "memory",
         collectors: int = 1,
         net: Optional[NetConfig] = None,
+        faults: Optional[FaultPlan] = None,
+        query_timeout: Optional[float] = None,
+        on_unavailable: str = "raise",
     ) -> None:
         """``daemon_workers > 0`` gives every site's daemon that many shard
         worker processes (pipelined bin export); ``0`` keeps the daemons
@@ -118,7 +123,11 @@ class Deployment:
         retention (its ``bin_width`` must match the deployment's).
         ``transport`` selects the network (``"memory"`` or ``"tcp"``),
         ``collectors`` how many collectors sites are partitioned across,
-        and ``net`` the TCP knobs (ports, backpressure, backoff)."""
+        and ``net`` the TCP knobs (ports, backpressure, backoff).
+        ``faults`` wires one :class:`FaultPlan` into every injection seam
+        (clients, collectors, stores, daemon worker pools) at once;
+        ``query_timeout`` / ``on_unavailable`` configure the query
+        engine's gather budget and degradation policy."""
         if not site_names:
             raise DaemonError("a deployment needs at least one site")
         if transport not in TRANSPORT_KINDS:
@@ -170,6 +179,7 @@ class Deployment:
                     name=name,
                     bin_width=bin_width,
                     config=collector_config,
+                    faults=faults,
                 )
             )
         self._sites: Dict[str, MonitoringSite] = {}
@@ -193,6 +203,13 @@ class Deployment:
                     connect_timeout=self._net.connect_timeout,
                     backoff_base=self._net.backoff_base,
                     backoff_max=self._net.backoff_max,
+                    backoff_jitter=self._net.backoff_jitter,
+                    rng=(
+                        faults.rng_for(f"net.client.backoff/{name}")
+                        if faults is not None
+                        else None
+                    ),
+                    faults=faults,
                 )
                 self._clients[name] = client
                 site_transport = client
@@ -205,10 +222,14 @@ class Deployment:
                 config=daemon_config,
                 use_diffs=use_diffs,
                 workers=daemon_workers,
+                faults=faults,
             )
             self._sites[name] = MonitoringSite(name=name, daemon=daemon)
-        self._engine = DistributedQueryEngine(self._collectors)
+        self._engine = DistributedQueryEngine(
+            self._collectors, timeout=query_timeout, on_unavailable=on_unavailable
+        )
         self._alerts = AlertManager(alert_policy)
+        self._supervisor: Optional[Supervisor] = None
 
     # -- accessors ---------------------------------------------------------------
 
@@ -325,9 +346,39 @@ class Deployment:
         their unacked backlog, deduplicated by the collectors' sequence
         guards — the delivered stream stays exactly-once.
         """
-        for server in self._servers:
+        for index in range(len(self._servers)):
+            self.restart_collector_server(index)
+
+    def restart_collector_server(self, index: int) -> None:
+        """Bounce one collector's TCP server on its bound port."""
+        if index < 0 or index >= len(self._servers):
+            raise DaemonError(
+                f"no TCP server at index {index} "
+                f"(deployment has {len(self._servers)})"
+            )
+        server = self._servers[index]
+        if server.running:
             server.stop()
-            server.start()
+        server.start()
+
+    def supervisor(self, config: Optional[SupervisorConfig] = None) -> Supervisor:
+        """The deployment's supervisor (created on first call, then cached).
+
+        Pass ``config`` on the first call to configure it; later calls
+        with a different config raise rather than silently ignoring it.
+        """
+        if self._supervisor is None:
+            self._supervisor = Supervisor(
+                self._collectors,
+                servers=self._servers or None,
+                config=config,
+            )
+        elif config is not None and config != self._supervisor.config:
+            raise DaemonError(
+                "this deployment's supervisor already exists with a different "
+                "config; call supervisor() without one to reuse it"
+            )
+        return self._supervisor
 
     def alerts(self) -> List[Alert]:
         """All alerts raised during the replay."""
@@ -345,6 +396,11 @@ class Deployment:
         :class:`DeploymentCloseError` listing all of them.
         """
         errors: List[Tuple[str, BaseException]] = []
+        if self._supervisor is not None:
+            try:
+                self._supervisor.stop()
+            except Exception as exc:
+                errors.append(("supervisor", exc))
         for name in self.site_names:
             try:
                 self.daemon(name).close()

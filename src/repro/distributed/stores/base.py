@@ -31,6 +31,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.errors import SerializationError
 from repro.core.flowtree import Flowtree
+from repro.distributed.faults import FAULT_STORE_COMMIT, FaultPlan
 from repro.core.serialization import (
     decode_varint,
     decode_zigzag,
@@ -139,6 +140,21 @@ class TimeSeriesStore(ABC):
 
     def __init__(self) -> None:
         self.stats = StoreStats()
+        #: Optional fault plan consulted at the commit seams (``None`` =
+        #: no overhead beyond one attribute check per ``put``).
+        self.faults: Optional[FaultPlan] = None
+
+    def attach_faults(self, plan: Optional[FaultPlan]) -> None:
+        """Wire a fault plan into this store's commit seams."""
+        self.faults = plan
+
+    def _check_commit_fault(self, site: str, bin_index: int) -> None:
+        """Raise the armed commit-fail fault before any mutation."""
+        faults = self.faults
+        if faults is not None and faults.should_fire(FAULT_STORE_COMMIT):
+            raise faults.inject(
+                FAULT_STORE_COMMIT, f"store commit for bin ({site!r}, {bin_index})"
+            )
 
     # -- bins -----------------------------------------------------------------
 
@@ -292,6 +308,7 @@ class CachedTreeStore(TimeSeriesStore):
         tree: Flowtree,
         meta: Optional[Dict[str, bytes]] = None,
     ) -> None:
+        self._check_commit_fault(site, bin_index)
         payload = to_bytes(tree)
         updates: Dict[str, Optional[bytes]] = {
             key: value for key, value in (meta or {}).items()

@@ -34,6 +34,7 @@ class MemoryStore(TimeSeriesStore):
         tree: Flowtree,
         meta: Optional[Dict[str, bytes]] = None,
     ) -> None:
+        self._check_commit_fault(site, bin_index)
         self._trees.setdefault(site, {})[bin_index] = tree
         for key, value in (meta or {}).items():
             self.set_meta(key, value)

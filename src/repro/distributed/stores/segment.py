@@ -36,6 +36,7 @@ from typing import BinaryIO, Dict, List, Optional, Tuple
 
 from repro.core.errors import SerializationError
 from repro.core.serialization import encode_varint, encode_zigzag
+from repro.distributed.faults import FAULT_STORE_TORN_WRITE
 from repro.distributed.stores.base import DEFAULT_CACHE_BINS, CachedTreeStore
 
 RECORD_MAGIC = b"FTSG"
@@ -163,6 +164,19 @@ class SegmentFileStore(CachedTreeStore):
         crc = zlib.crc32(payload) & 0xFFFFFFFF
         record_start = writer.tell()
         payload_offset = record_start + len(header)
+        faults = self.faults
+        if faults is not None and faults.should_fire(FAULT_STORE_TORN_WRITE):
+            # A torn write: half the payload reaches the segment, then the
+            # "process" dies before the index commit.  The stale tail must
+            # stay invisible — reads go through indexed offsets only, and
+            # this record never entered the index.
+            writer.write(bytes(header) + payload[: len(payload) // 2])
+            writer.flush()
+            raise faults.inject(
+                FAULT_STORE_TORN_WRITE,
+                f"torn segment write for bin ({site!r}, {bin_index}) "
+                f"at offset {record_start}",
+            )
         writer.write(bytes(header) + payload + crc.to_bytes(4, "big"))
         writer.flush()
         if self._fsync:

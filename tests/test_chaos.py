@@ -1,0 +1,255 @@
+"""Chaos soak: seeded fault plans against a live, supervised TCP deployment.
+
+The headline robustness claim: with frame drops, wire corruption,
+duplicates, a collector kill and a store commit failure all armed on a
+seeded :class:`FaultPlan`, a supervised two-collector TCP deployment must
+*converge to the byte-identical answer* of a fault-free run — exactly-once
+ingestion survives every injected failure once the supervisor heals the
+system and the plan goes quiet (every fault is ``max_fires``-bounded).
+
+Wall-clock is bounded: each soak run polls a convergence predicate under a
+hard deadline, so a hang is a test failure rather than a stuck CI job (the
+``chaos`` CI job adds an outer ``timeout`` on top).
+
+The second half pins graceful query degradation: ``on_unavailable="raise"``
+turns a dead collector into a :class:`QueryError`, ``"partial"`` returns
+the reachable sites' totals with the dead collector named in
+``unavailable_collectors``.
+"""
+
+import time
+
+import pytest
+
+from helpers import make_timed_record
+from repro.core.errors import QueryError
+from repro.core.key import FlowKey
+from repro.core.serialization import to_bytes
+from repro.distributed import (
+    FAULT_COLLECTOR_KILL,
+    FAULT_FRAME_CORRUPT,
+    FAULT_FRAME_DELAY,
+    FAULT_FRAME_DROP,
+    FAULT_FRAME_DUPLICATE,
+    FAULT_STORE_COMMIT,
+    Deployment,
+    FaultPlan,
+    NetConfig,
+    SupervisorConfig,
+)
+from repro.distributed.messages import QueryRequest
+from repro.features.schema import SCHEMA_2F_SRC_DST
+
+SITES = ["nyc", "lax", "fra", "sin"]
+BIN_WIDTH = 60.0
+BINS = 3
+CONVERGE_TIMEOUT = 90.0
+
+KEYS = [
+    FlowKey.from_wire(SCHEMA_2F_SRC_DST, wire)
+    for wire in (("10.0.1.0/24", "*"), ("*", "*"), ("10.0.2.3", "192.168.1.3"))
+]
+
+
+def _records(count=240):
+    return [
+        make_timed_record(
+            timestamp=(i % BINS) * BIN_WIDTH,
+            src=f"10.0.{i % 4}.{i % 250 or 1}",
+            dst=f"192.168.1.{i % 200 or 1}",
+            packets=1 + i % 5,
+        )
+        for i in range(count)
+    ]
+
+
+def _build(transport, faults=None, net=None, **kwargs):
+    deployment = Deployment(
+        SCHEMA_2F_SRC_DST,
+        SITES,
+        bin_width=BIN_WIDTH,
+        transport=transport,
+        collectors=2,
+        faults=faults,
+        net=net,
+        **kwargs,
+    )
+    for name in deployment.site_names:
+        deployment.attach_records(name, _records())
+    return deployment
+
+
+def _chaos_plan(seed):
+    """Every fault class armed, all bounded so the plan goes quiet.
+
+    The deterministic faults stagger their ``after`` offsets by seed so
+    different seeds hit different frames/ingests; the delay fault stays
+    probabilistic (its firing pattern is the per-seed dice roll).
+    """
+    plan = FaultPlan(seed=seed)
+    plan.arm(FAULT_FRAME_DROP, after=seed, max_fires=1)
+    plan.arm(FAULT_FRAME_CORRUPT, after=seed + 2, max_fires=1)
+    plan.arm(FAULT_FRAME_DUPLICATE, after=seed + 4, max_fires=1)
+    plan.arm(FAULT_FRAME_DELAY, probability=0.25, max_fires=3)
+    plan.arm(FAULT_COLLECTOR_KILL, after=1, max_fires=1)
+    plan.arm(FAULT_STORE_COMMIT, after=3, max_fires=1)
+    return plan
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """The fault-free answer, captured as plain data: per-site bin bytes,
+    query results and ingest counters."""
+    with _build("memory") as deployment:
+        deployment.run()
+        bins = {}
+        for site in deployment.site_names:
+            series = deployment.collector_for(site).site_series(site)
+            bins[site] = {
+                index: to_bytes(series.tree(index)) for index in series.bin_indices()
+            }
+        return {
+            "messages": sum(c.messages_processed for c in deployment.collectors),
+            "bytes": sum(c.bytes_received for c in deployment.collectors),
+            "bins": bins,
+            "estimates": deployment.query_engine.estimate_many(KEYS),
+        }
+
+
+class TestChaosSoak:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_soak_converges_byte_identically(self, seed, baseline):
+        plan = _chaos_plan(seed)
+        net = NetConfig(backoff_base=0.02, backoff_max=0.25, drain_timeout=60.0)
+        with _build("tcp", faults=plan, net=net) as deployment:
+            supervisor = deployment.supervisor(SupervisorConfig(interval=0.05))
+            supervisor.start()
+            names = deployment.site_names
+            try:
+                for name in names[:2]:
+                    deployment.site(name).replay()
+                # an operator-visible outage on top of the fault plan: the
+                # supervisor must rebind the dead listener on its own
+                deployment.servers[0].stop()
+                for name in names[2:]:
+                    deployment.site(name).replay()
+
+                deadline = time.monotonic() + CONVERGE_TIMEOUT
+                converged = False
+                while time.monotonic() < deadline:
+                    converged = (
+                        supervisor.all_healthy
+                        and all(server.running for server in deployment.servers)
+                        and sum(c.messages_processed for c in deployment.collectors)
+                        >= baseline["messages"]
+                        and all(
+                            deployment.site_transport(n).outstanding == 0 for n in names
+                        )
+                        and all(c.pending_backlog == 0 for c in deployment.collectors)
+                    )
+                    if converged:
+                        break
+                    time.sleep(0.02)
+                assert converged, (
+                    f"seed {seed}: no convergence within {CONVERGE_TIMEOUT}s: "
+                    f"{supervisor.health_snapshot()} faults={plan.snapshot()}"
+                )
+            finally:
+                supervisor.stop()
+
+            # the plan actually exercised every deterministic fault and went quiet
+            assert plan.fires(FAULT_FRAME_DROP) == 1
+            assert plan.fires(FAULT_FRAME_CORRUPT) == 1
+            assert plan.fires(FAULT_FRAME_DUPLICATE) == 1
+            assert plan.fires(FAULT_COLLECTOR_KILL) == 1
+            assert plan.fires(FAULT_STORE_COMMIT) == 1
+            restarts = sum(
+                h["restarts"] for h in supervisor.health_snapshot().values()
+            )
+            assert restarts >= 2  # the killed collector + the stopped server
+
+            # exactly-once: counters and every bin byte-identical to fault-free
+            assert (
+                sum(c.messages_processed for c in deployment.collectors)
+                == baseline["messages"]
+            )
+            assert (
+                sum(c.bytes_received for c in deployment.collectors)
+                == baseline["bytes"]
+            )
+            for site in names:
+                series = deployment.collector_for(site).site_series(site)
+                assert series.bin_indices() == sorted(baseline["bins"][site])
+                for index, blob in baseline["bins"][site].items():
+                    assert to_bytes(series.tree(index)) == blob, (
+                        f"seed {seed}: bin {index} of {site} diverged"
+                    )
+            assert deployment.query_engine.estimate_many(KEYS) == baseline["estimates"]
+
+    def test_soak_is_reproducible_for_a_fixed_seed(self):
+        """Two plans with the same seed agree on the delay seam's dice rolls."""
+        first, second = _chaos_plan(7), _chaos_plan(7)
+        rolls = lambda plan: [  # noqa: E731
+            plan.should_fire(FAULT_FRAME_DELAY) for _ in range(20)
+        ]
+        assert rolls(first) == rolls(second)
+
+
+class TestGracefulDegradation:
+    def test_partial_mode_returns_reachable_totals(self, baseline):
+        with _build("memory", on_unavailable="partial", query_timeout=5.0) as deployment:
+            deployment.run()
+            engine = deployment.query_engine
+            dead = deployment.collectors[0]
+            dead.kill("outage")
+
+            result = engine.estimate_many_detailed(KEYS)
+            assert result.partial
+            assert result.unavailable == (dead.name,)
+            live_sites = {
+                site
+                for site in deployment.site_names
+                if deployment.collector_for(site) is not dead
+            }
+            assert set(result.per_site) == live_sites
+            for key in KEYS:
+                assert result.totals[key] == sum(
+                    result.per_site[site][key] for site in live_sites
+                )
+            full_totals, _ = baseline["estimates"]
+            assert result.totals[KEYS[1]] < full_totals[KEYS[1]]
+
+            response = engine.execute(QueryRequest(key_wire=("*", "*")))
+            assert response.partial
+            assert not response.exact
+            assert response.unavailable_collectors == (dead.name,)
+            assert response.total == result.totals[KEYS[1]]
+
+            dead.revive()  # healed: the full answer comes back
+            healed = engine.estimate_many_detailed(KEYS)
+            assert not healed.partial
+            assert (healed.totals, healed.per_site) == baseline["estimates"]
+
+    def test_raise_mode_surfaces_the_outage(self):
+        with _build("memory") as deployment:  # on_unavailable defaults to "raise"
+            deployment.run()
+            deployment.collectors[1].kill("outage")
+            with pytest.raises(QueryError, match="unavailable"):
+                deployment.query_engine.estimate_many(KEYS)
+            deployment.collectors[1].revive()  # close() refuses a dead collector
+
+    def test_query_timeout_degrades_a_wedged_collector(self):
+        with _build("memory", on_unavailable="partial", query_timeout=0.2) as deployment:
+            deployment.run()
+            wedged = deployment.collectors[0]
+
+            def hang(*args, **kwargs):
+                time.sleep(5.0)
+                raise AssertionError("the gather must not wait for this")
+
+            wedged.estimate_many = hang
+            started = time.monotonic()
+            result = deployment.query_engine.estimate_many_detailed(KEYS)
+            assert time.monotonic() - started < 2.0  # bounded by the timeout
+            assert result.unavailable == (wedged.name,)
+            assert result.partial

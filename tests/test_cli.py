@@ -122,6 +122,14 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "Investigation" in output
 
+    def test_collect_supervised_reports_health(self, trace_csv, capsys):
+        assert main(["collect", "--schema", "4f", "--site", "edge-1",
+                     "--supervised", str(trace_csv)]) == 0
+        output = capsys.readouterr().out
+        assert "Supervisor health" in output
+        assert "healthy" in output
+        assert "restarts" in output
+
     def test_error_paths_return_nonzero(self, tmp_path, capsys):
         missing = tmp_path / "does-not-exist.ft"
         assert main(["info", str(missing)]) == 1

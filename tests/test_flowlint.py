@@ -28,6 +28,7 @@ from repro.devtools.lint.engine import (
 from repro.devtools.lint.rules.atomic_commit import AtomicCommitRule
 from repro.devtools.lint.rules.cache_coherence import CacheCoherenceRule
 from repro.devtools.lint.rules.exception_hygiene import ExceptionHygieneRule
+from repro.devtools.lint.rules.fault_reporting import FaultReportingRule
 from repro.devtools.lint.rules.fold_determinism import FoldDeterminismRule
 from repro.devtools.lint.rules.picklability import PicklabilityRule
 from repro.devtools.lint.rules.wire_format import (
@@ -57,12 +58,13 @@ def rule_names(findings):
 
 
 class TestEngine:
-    def test_all_six_rules_registered(self):
+    def test_all_seven_rules_registered(self):
         names = {rule.name for rule in all_rules()}
         assert names == {
             "atomic-commit",
             "cache-coherence",
             "exception-hygiene",
+            "fault-reporting",
             "fold-determinism",
             "wire-format",
             "worker-picklability",
@@ -784,6 +786,100 @@ class TestExceptionHygiene:
                 try:
                     pass
                 except Exception:  # flowlint: disable=exception-hygiene
+                    pass
+            """,
+            rules=self.RULES,
+        )
+        assert findings == []
+
+
+class TestFaultReporting:
+    RULES = [FaultReportingRule()]
+
+    FAULTS_PATH = "src/repro/distributed/faults.py"
+    SUPERVISOR_PATH = "src/repro/distributed/supervisor.py"
+
+    def test_narrow_swallow_in_strict_module_flagged(self):
+        """exception-hygiene tolerates narrow swallows; in the fault and
+        supervision modules even those must report."""
+        source = """
+            def check():
+                try:
+                    pass
+                except OSError:
+                    pass
+            """
+        assert rule_names(lint(source, path=self.SUPERVISOR_PATH, rules=self.RULES)) == [
+            "fault-reporting"
+        ]
+        assert rule_names(lint(source, path=self.FAULTS_PATH, rules=self.RULES)) == [
+            "fault-reporting"
+        ]
+        # outside the strict modules a narrow swallow is not this rule's business
+        assert lint(source, rules=self.RULES) == []
+
+    def test_reporting_handler_in_strict_module_passes(self):
+        findings = lint(
+            """
+            def check(health):
+                try:
+                    pass
+                except OSError as exc:
+                    health.last_error = str(exc)
+            """,
+            path=self.SUPERVISOR_PATH,
+            rules=self.RULES,
+        )
+        assert findings == []
+
+    def test_swallowed_fault_error_flagged_anywhere(self):
+        findings = lint(
+            """
+            def f():
+                try:
+                    pass
+                except FaultError:
+                    pass
+            """,
+            rules=self.RULES,
+        )
+        assert rule_names(findings) == ["fault-reporting"]
+
+    def test_swallowed_fault_error_in_tuple_flagged(self):
+        findings = lint(
+            """
+            import errors
+
+            def f():
+                try:
+                    pass
+                except (OSError, errors.FaultError):
+                    pass
+            """,
+            rules=self.RULES,
+        )
+        assert rule_names(findings) == ["fault-reporting"]
+
+    def test_handled_fault_error_passes(self):
+        findings = lint(
+            """
+            def f():
+                try:
+                    pass
+                except FaultError:
+                    raise
+            """,
+            rules=self.RULES,
+        )
+        assert findings == []
+
+    def test_suppressed(self):
+        findings = lint(
+            """
+            def f():
+                try:
+                    pass
+                except FaultError:  # flowlint: disable=fault-reporting
                     pass
             """,
             rules=self.RULES,

@@ -140,6 +140,26 @@ class TestFraming:
         frame = decode_body(body)
         assert frame.wire_bytes == len(encode_frame(body))
 
+    def test_corrupted_body_byte_fails_the_frame_crc(self):
+        message = SummaryMessage("s", 0, 0.0, 60.0, "full", b"payload" * 20, sequence=1)
+        wire = bytearray(encode_frame(encode_summary(1, encode_summary_body(message))))
+        for index in (8, len(wire) // 2, len(wire) - 1):  # first body byte, middle, last
+            corrupted = bytearray(wire)
+            corrupted[index] ^= 0xFF
+            with pytest.raises(TransportError, match="CRC"):
+                FrameDecoder().feed(bytes(corrupted))
+
+    def test_corrupted_crc_field_fails_the_frame_crc(self):
+        wire = bytearray(encode_frame(encode_hello("s", "collector")))
+        wire[5] ^= 0x01  # inside the 4-byte CRC trailer after the length prefix
+        with pytest.raises(TransportError, match="CRC"):
+            FrameDecoder().feed(bytes(wire))
+
+    def test_clean_frame_after_crc_check_still_decodes(self):
+        body = encode_hello("s", "collector")
+        frames = FrameDecoder().feed(encode_frame(body) * 2)
+        assert [type(f) for f in frames] == [HelloFrame, HelloFrame]
+
 
 class TestServerClient:
     def test_end_to_end_matches_simulated_transport(self):
@@ -251,6 +271,45 @@ class TestServerClient:
                 sock.settimeout(5.0)
                 assert sock.recv(4096) == b""
             assert server.stats()["protocol_errors"] == 1
+
+    def test_corrupt_summary_payload_in_valid_frame_kills_connection(self):
+        """Pinned outcome: a SUMMARY whose frame decodes cleanly (length and
+        CRC both valid) but whose Flowtree payload is garbage must kill the
+        connection as a protocol error — never be acked, never be ingested."""
+        poison = SummaryMessage(
+            "edge", 0, 0.0, 60.0, "full", b"\xff\xfenot a flowtree", sequence=0
+        )
+        with CollectorServer().start() as server:
+            collector = Collector(SCHEMA_2F_SRC_DST, server)
+            stream = encode_frame(encode_hello("edge", "collector"))
+            stream += encode_frame(encode_summary(1, encode_summary_body(poison)))
+            with socket.create_connection((server.host, server.port), timeout=5.0) as sock:
+                sock.sendall(stream)
+                sock.settimeout(5.0)
+                assert sock.recv(4096) == b""  # killed without an ack
+            assert server.stats()["protocol_errors"] == 1
+            assert server.pending("collector") == 0  # nothing reached the inbox
+            assert collector.poll() == 0
+            assert collector.messages_processed == 0
+            assert collector.sites == []
+
+    def test_wire_corruption_detected_before_ack(self):
+        """A frame corrupted on the wire is a CRC protocol error: the sender
+        never sees an ack for it, so the resend path owns recovery."""
+        message = _capture_messages(site="edge", bins=1)[0]
+        with CollectorServer().start() as server:
+            collector = Collector(SCHEMA_2F_SRC_DST, server)
+            wire = bytearray(
+                encode_frame(encode_summary(1, encode_summary_body(message)))
+            )
+            wire[len(wire) // 2] ^= 0xFF
+            stream = encode_frame(encode_hello("edge", "collector")) + bytes(wire)
+            with socket.create_connection((server.host, server.port), timeout=5.0) as sock:
+                sock.sendall(stream)
+                sock.settimeout(5.0)
+                assert sock.recv(4096) == b""
+            assert server.stats()["protocol_errors"] == 1
+            assert collector.poll() == 0
 
     def test_backpressure_raises_when_collector_stalls(self):
         # no server listening: the queue fills and stays full
