@@ -4,13 +4,18 @@ Public surface:
 
 * :func:`repro.devtools.lint.engine.main` — the CLI (also behind
   ``flowtree lint``),
-* :func:`repro.devtools.lint.engine.run` / ``check_source`` — programmatic
-  linting (what the test fixtures drive),
-* :data:`repro.devtools.lint.engine.REGISTRY` — the rule registry.
+* :func:`repro.devtools.lint.engine.run` / ``check_source`` /
+  ``check_project_sources`` — programmatic linting (what the test
+  fixtures drive),
+* :data:`repro.devtools.lint.engine.REGISTRY` — the rule registry,
+* :class:`repro.devtools.lint.engine.ProjectRule` — base class for
+  rules that run on the linked project model (symbol table + call
+  graph + thread roots over ``src/repro``) instead of one file's AST.
 
 See the package README section "Static analysis & development" for the
-rule battery and the suppression syntax
-(``# flowlint: disable=<rule>[,<rule>...]``).
+rule battery, the suppression syntax
+(``# flowlint: disable=<rule>[,<rule>...]``), the ``--jobs`` /
+``--dump-callgraph`` flags, and the version-2 JSON report schema.
 """
 
 from repro.devtools.lint.engine import (  # noqa: F401
@@ -18,9 +23,12 @@ from repro.devtools.lint.engine import (  # noqa: F401
     EXIT_FINDINGS,
     EXIT_USAGE,
     Finding,
+    ProjectRule,
     REGISTRY,
+    REPORT_VERSION,
     Rule,
     all_rules,
+    check_project_sources,
     check_source,
     main,
     report_json,

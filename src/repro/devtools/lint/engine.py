@@ -10,6 +10,14 @@ new invariant costs exactly one rule module (see
 Exit codes: ``0`` clean, ``1`` findings (or unparseable input), ``2``
 usage errors.  ``--format json`` emits a stable machine-readable report
 (schema documented on :func:`report_json`).
+
+Two kinds of rules coexist: per-file :class:`Rule` subclasses see one
+:class:`FileContext` at a time, while :class:`ProjectRule` subclasses run
+once over the :class:`~repro.devtools.lint.project.ProjectModel` linked
+from every analyzed file — that is how the concurrency rules see a thread
+started in one module mutate state defined in another.  File analysis
+(parse + per-file rules + project extraction) is embarrassingly parallel;
+``--jobs N`` fans it out over worker processes.
 """
 
 from __future__ import annotations
@@ -21,9 +29,16 @@ import json
 import re
 import sys
 import tokenize
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.devtools.lint.project import (
+    FileSummary,
+    ProjectModel,
+    build_project,
+    extract_file,
+)
 
 #: Exit codes of the CLI (also asserted by the test suite).
 EXIT_CLEAN = 0
@@ -31,7 +46,8 @@ EXIT_FINDINGS = 1
 EXIT_USAGE = 2
 
 #: JSON report schema version (bump when the report shape changes).
-REPORT_VERSION = 1
+#: Version 2 added per-finding ``severity`` (PR 10).
+REPORT_VERSION = 2
 
 _SUPPRESS_RE = re.compile(r"#\s*flowlint:\s*disable=([A-Za-z0-9_,\- ]+)")
 
@@ -48,6 +64,9 @@ class Finding:
     line: int
     col: int
     message: str
+    #: ``"error"`` (contract violation) or ``"warning"`` (heuristic smell).
+    #: Advisory metadata only: any finding still exits 1.
+    severity: str = field(default="error", compare=False)
 
     def format_text(self) -> str:
         """``path:line:col: rule: message`` (the text-output line)."""
@@ -61,6 +80,7 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "severity": self.severity,
         }
 
 
@@ -119,6 +139,8 @@ class Rule:
     name: str = ""
     #: One-line human description (shown by ``--list-rules``).
     description: str = ""
+    #: Default severity of this rule's findings (``error`` or ``warning``).
+    severity: str = "error"
 
     def applies_to(self, path: str) -> bool:
         """Whether this rule runs on ``path`` (posix-style, repo-relative)."""
@@ -138,6 +160,33 @@ class Rule:
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0) + 1,
             message=message,
+            severity=self.severity,
+        )
+
+
+class ProjectRule(Rule):
+    """A rule that runs once over the linked project, not per file.
+
+    Subclasses implement :meth:`check_project`; the engine feeds them the
+    :class:`~repro.devtools.lint.project.ProjectModel` built from every
+    analyzed ``src/repro`` file and filters the resulting findings through
+    the same per-line suppressions as file findings.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        """Yield findings over the whole project."""
+        raise NotImplementedError
+
+    def project_finding(
+        self, path: str, line: int, col: int, message: str
+    ) -> Finding:
+        """Build a finding at an explicit location (no ``FileContext``)."""
+        return Finding(
+            rule=self.name, path=path, line=line, col=col + 1,
+            message=message, severity=self.severity,
         )
 
 
@@ -180,8 +229,21 @@ def check_source(
 
     ``path`` plays the role the file path plays for real files: rules scope
     themselves on it and findings report it.  ``respect_scope=False`` runs
-    the given rules even on paths they would normally skip.
+    the given rules even on paths they would normally skip.  Project rules
+    passed here are linked over this single file; multi-file fixtures use
+    :func:`check_project_sources`.
     """
+    resolved = list(rules) if rules is not None else all_rules()
+    project_rules = [r for r in resolved if isinstance(r, ProjectRule)]
+    if project_rules:
+        file_rules = [r for r in resolved if not isinstance(r, ProjectRule)]
+        findings = check_project_sources(
+            {path: source}, rules=project_rules, respect_scope=respect_scope
+        )
+        if file_rules:
+            findings += check_source(source, path, file_rules, respect_scope)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -195,12 +257,47 @@ def check_source(
             )
         ]
     ctx = FileContext(path, source, tree)
-    findings: List[Finding] = []
+    findings = []
     for rule in (rules if rules is not None else all_rules()):
         if respect_scope and not rule.applies_to(path):
             continue
         for finding in rule.check(ctx):
             if not ctx.is_suppressed(finding):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def check_project_sources(
+    sources: Mapping[str, str],
+    rules: Optional[Sequence[Rule]] = None,
+    respect_scope: bool = True,
+) -> List[Finding]:
+    """Run project rules over in-memory ``{path: source}`` fixtures.
+
+    Paths should look like repo paths (``src/repro/...``) so they land in
+    the project model; the same per-line suppressions apply as on disk.
+    """
+    selected = [
+        rule for rule in (rules if rules is not None else all_rules())
+        if isinstance(rule, ProjectRule)
+    ]
+    summaries: List[FileSummary] = []
+    for path, source in sorted(sources.items()):
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError:
+            continue
+        summary = extract_file(
+            path, source, tree=tree, suppressions=_collect_suppressions(source)
+        )
+        if summary is not None:
+            summaries.append(summary)
+    project = build_project(summaries)
+    findings: List[Finding] = []
+    for rule in selected:
+        for finding in rule.check_project(project):
+            if not project.is_suppressed_at(finding.path, finding.line, finding.rule):
                 findings.append(finding)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
@@ -240,13 +337,49 @@ def _report_path(path: Path) -> str:
         return path.as_posix()
 
 
+def _analyze_one_file(
+    path_text: str, report_path: str, select: Optional[Tuple[str, ...]]
+) -> "Tuple[List[Finding], Optional[FileSummary]]":
+    """Per-file work unit: per-file rules + project extraction.
+
+    Module-level and driven by plain strings so ``--jobs`` can ship it to
+    worker processes (the rule registry re-imports on the worker side).
+    """
+    rules = all_rules()
+    if select:
+        rules = [rule for rule in rules if rule.name in select]
+    file_rules = [rule for rule in rules if not isinstance(rule, ProjectRule)]
+    wants_project = any(isinstance(rule, ProjectRule) for rule in rules)
+    source = Path(path_text).read_text(encoding="utf-8")
+    findings = check_source(source, report_path, rules=file_rules)
+    summary: Optional[FileSummary] = None
+    if wants_project and not any(f.rule == "parse-error" for f in findings):
+        summary = extract_file(
+            report_path, source, suppressions=_collect_suppressions(source)
+        )
+    return findings, summary
+
+
+def _analyze_one_file_job(
+    job: "Tuple[str, str, Optional[Tuple[str, ...]]]",
+) -> "Tuple[List[Finding], Optional[FileSummary]]":
+    return _analyze_one_file(*job)
+
+
 def run(
     paths: Sequence[str],
     select: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    project_sink: Optional[List[ProjectModel]] = None,
 ) -> "Tuple[List[Finding], int]":
     """Lint ``paths`` with every registered rule (or a ``select`` subset).
 
-    Returns ``(findings, files_checked)``.
+    Per-file analysis runs serially by default; ``jobs > 1`` fans it out
+    over that many worker processes (``jobs=0`` means one per CPU).  The
+    project link + project rules always run in this process, over the
+    summaries the file pass produced.  ``project_sink``, when given, is
+    appended the linked :class:`ProjectModel` (the ``--dump-callgraph``
+    hook).  Returns ``(findings, files_checked)``.
     """
     rules = all_rules()
     if select:
@@ -254,14 +387,44 @@ def run(
         if unknown:
             raise ValueError(f"unknown rule(s): {', '.join(unknown)}")
         rules = [rule for rule in rules if rule.name in select]
+    project_rules = [rule for rule in rules if isinstance(rule, ProjectRule)]
+    select_names = tuple(sorted(rule.name for rule in rules))
+    job_list = [
+        (str(file_path), _report_path(file_path), select_names)
+        for file_path in iter_python_files(paths)
+    ]
     findings: List[Finding] = []
-    files_checked = 0
-    for file_path in iter_python_files(paths):
-        files_checked += 1
-        report_path = _report_path(file_path)
-        source = file_path.read_text(encoding="utf-8")
-        findings.extend(check_source(source, report_path, rules=rules))
-    return findings, files_checked
+    summaries: List[Optional[FileSummary]] = []
+    if jobs == 1 or len(job_list) <= 1:
+        results = map(_analyze_one_file_job, job_list)
+    else:
+        import concurrent.futures
+        import os
+
+        max_workers = jobs if jobs > 0 else (os.cpu_count() or 1)
+        executor = concurrent.futures.ProcessPoolExecutor(max_workers=max_workers)
+        try:
+            results = list(executor.map(
+                _analyze_one_file_job, job_list,
+                chunksize=max(1, len(job_list) // (max_workers * 4)),
+            ))
+        finally:
+            executor.shutdown()
+    for file_findings, summary in results:
+        findings.extend(file_findings)
+        summaries.append(summary)
+    if project_rules or project_sink is not None:
+        project = build_project(summaries)
+        if project_sink is not None:
+            project_sink.append(project)
+        for rule in project_rules:
+            for finding in rule.check_project(project):
+                if not project.is_suppressed_at(
+                    finding.path, finding.line, finding.rule
+                ):
+                    findings.append(finding)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, len(job_list)
 
 
 # -- reporting --------------------------------------------------------------------
@@ -280,9 +443,14 @@ def report_json(findings: Sequence[Finding], files_checked: int) -> str:
 
     Schema (``version`` = :data:`REPORT_VERSION`)::
 
-        {"version": 1,
+        {"version": 2,
          "files_checked": <int>,
-         "findings": [{"rule", "path", "line", "col", "message"}, ...]}
+         "findings": [{"rule", "path", "line", "col", "message",
+                       "severity"}, ...]}
+
+    ``severity`` is ``"error"`` or ``"warning"`` (advisory only — any
+    finding exits 1).  Version 1 reports lacked the field; consumers
+    should reject versions they do not know.
     """
     document = {
         "version": REPORT_VERSION,
@@ -326,6 +494,17 @@ def build_arg_parser(prog: str = "flowlint") -> argparse.ArgumentParser:
         help="run only the named rule (repeatable)",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="analyze files in N worker processes (0 = one per CPU; "
+             "default: 1, in-process). The project link and project "
+             "rules always run in the parent process.",
+    )
+    parser.add_argument(
+        "--dump-callgraph", metavar="FILE", default=None,
+        help="also write the linked call graph (scopes, edges, thread "
+             "roots, lock attributes) as JSON to FILE",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="list registered rules and exit",
     )
@@ -364,11 +543,23 @@ def main(argv: Optional[Sequence[str]] = None, prog: str = "flowlint") -> int:
         print(f"flowlint: wire-format manifest regenerated -> {manifest_path}")
         return EXIT_CLEAN
 
+    project_sink: Optional[List[ProjectModel]] = (
+        [] if args.dump_callgraph else None
+    )
     try:
-        findings, files_checked = run(args.paths, select=args.select)
+        findings, files_checked = run(
+            args.paths, select=args.select, jobs=args.jobs,
+            project_sink=project_sink,
+        )
     except (FileNotFoundError, ValueError) as exc:
         print(f"flowlint: error: {exc}", file=sys.stderr)
         return EXIT_USAGE
+
+    if args.dump_callgraph and project_sink:
+        Path(args.dump_callgraph).write_text(
+            json.dumps(project_sink[0].dump(), indent=2, sort_keys=True),
+            encoding="utf-8",
+        )
 
     if args.format == "json":
         print(report_json(findings, files_checked))

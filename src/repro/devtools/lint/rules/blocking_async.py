@@ -1,0 +1,99 @@
+"""blocking-in-async: no blocking calls on the event loop.
+
+One blocked event loop stalls every connection it hosts: the PR 7
+`SiteClient`/`CollectorServer` loops multiplex all sites, and the PR 9
+near-miss — a bare ``future.result()`` inside the scatter/gather — hung
+the whole query path until a shared deadline was added.  This rule makes
+that class of bug a lint error instead of a soak-test coin flip.
+
+A scope is *loop-hosted* when it is an ``async def``, a callback handed
+to ``loop.call_soon``/``asyncio.start_server``/``run_coroutine_
+threadsafe``, or (transitively, through the call graph) anything those
+scopes call synchronously.  Inside loop-hosted scopes the rule flags the
+blocking idioms the stdlib offers no awaitable form of in-place:
+
+* ``time.sleep(...)`` — use ``await asyncio.sleep(...)``;
+* builtin ``open(...)`` — file I/O blocks the loop;
+* zero-argument ``.acquire()`` / ``.get()`` / ``.result()`` / ``.join()``
+  / ``.wait()`` — an untimeouted wait on a lock, queue, future or thread;
+* raw socket ops (``recv``, ``accept``, ``connect``, ``sendall``...).
+
+Not flagged: ``await``-ed calls, arguments of scheduling functions
+(``ensure_future(queue.get())`` runs *as a coroutine*), calls carrying a
+timeout/``block=False`` argument, ``with lock:`` statements (the repo's
+sanctioned short critical sections), and ``.result()`` on tasks bound
+from ``ensure_future``/``create_task``/``asyncio.wait`` — those are
+already completed when harvested.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.devtools.lint.engine import Finding, ProjectRule, register
+from repro.devtools.lint.project import CallSite, ProjectModel, ScopeInfo
+
+_SOCKET_OPS = frozenset({
+    "recv", "recvfrom", "recv_into", "accept", "connect", "sendall", "makefile",
+})
+
+_ZERO_ARG_WAITS = {
+    "acquire": "a bare Lock.acquire() parks the loop thread; use "
+               "`async with`/an asyncio lock, or acquire(timeout=...)",
+    "get": "a bare queue .get() blocks until an item arrives; use an "
+           "asyncio.Queue awaited, or get(timeout=...)",
+    "result": "a bare future .result() blocks the loop until completion "
+              "(the PR 7 gather hang); await it or pass a timeout",
+    "join": "a bare .join() blocks until the thread/process exits; "
+            "join(timeout=...) or hand off to an executor",
+    "wait": "a bare .wait() blocks until the event is set; "
+            "wait(timeout=...) or an asyncio.Event awaited",
+}
+
+
+@register
+class BlockingInAsyncRule(ProjectRule):
+    name = "blocking-in-async"
+    description = (
+        "no time.sleep, blocking file/socket ops, or un-timeouted "
+        "acquire/get/result/join inside scopes the call graph places on "
+        "an asyncio event loop"
+    )
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        for scope_id in sorted(project.async_scopes):
+            scope = project.scopes[scope_id]
+            path = project.scope_paths[scope_id]
+            for call in scope.calls:
+                reason = self._blocking_reason(scope, call)
+                if reason is None:
+                    continue
+                yield self.project_finding(
+                    path, call.line, call.col,
+                    f"{scope.qualname} runs on the event loop, and {reason}",
+                )
+
+    def _blocking_reason(
+        self, scope: ScopeInfo, call: CallSite
+    ) -> Optional[str]:
+        if call.awaited or call.scheduled:
+            return None
+        chain = call.chain
+        last = chain[-1]
+        if chain[-2:] == ("time", "sleep"):
+            return "time.sleep() stalls every coroutine on it; use " \
+                   "`await asyncio.sleep(...)`"
+        if chain == ("open",):
+            return "builtin open() does blocking file I/O; read the bytes " \
+                   "off-loop (executor) or before scheduling"
+        if len(chain) >= 2 and last in _SOCKET_OPS:
+            return f"socket .{last}() blocks; use the asyncio stream APIs"
+        if last in _ZERO_ARG_WAITS and not call.has_args:
+            if len(chain) < 2:
+                return None  # a bare name is not a method on a waitable
+            if last == "result":
+                receiver = chain[-2] if len(chain) >= 2 else None
+                if receiver in scope.task_locals:
+                    return None
+            return _ZERO_ARG_WAITS[last]
+        return None

@@ -1,0 +1,99 @@
+"""lock-discipline: state guarded somewhere must be guarded everywhere.
+
+The repo's threading convention is lock-per-state: ``SiteClient._stats``
+under ``_stats_lock``, ``Supervisor._health`` under ``_check_lock``,
+``TransferAccounting``'s counters under ``_accounting_lock``.  The bug
+class this rule catches is the *one forgotten access*: a snapshot method
+or property that reads the same attribute lock-free while a background
+thread mutates it — exactly the torn-read race the chaos suite can only
+hit probabilistically.
+
+Mechanics, over the linked :class:`ProjectModel`:
+
+* An attribute is **disciplined** when some scope *writes* it while
+  holding a lock (lexically ``with self._x_lock:``, or inherited because
+  every caller of that private helper holds it).  Writes define the
+  convention; read-only attributes shared by construction stay exempt.
+* It is **threaded** when any scope touching it is reachable from a
+  concrete thread entry point (``Thread(target=...)``, an executor
+  submission, a coroutine handed to an event loop) — a second thread can
+  actually race the access.
+* Every access of a disciplined, threaded attribute must then hold at
+  least one of the attribute's guarding locks; ``__init__`` (object not
+  shared yet) and the lock attributes themselves are exempt.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+
+from repro.devtools.lint.engine import Finding, ProjectRule, register
+from repro.devtools.lint.project import Access, ProjectModel
+
+
+def _is_lockish(attr: str, lock_attrs: FrozenSet[str]) -> bool:
+    return "lock" in attr.lower() or attr in lock_attrs
+
+
+@register
+class LockDisciplineRule(ProjectRule):
+    name = "lock-discipline"
+    description = (
+        "an attribute written under `with self._x_lock:` anywhere must be "
+        "accessed under that lock everywhere once a second thread can reach it"
+    )
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        for cls_name in sorted(project.classes):
+            yield from self._check_class(project, cls_name)
+
+    def _check_class(
+        self, project: ProjectModel, cls_name: str
+    ) -> Iterator[Finding]:
+        info = project.classes[cls_name]
+        lock_attrs = frozenset(info.lock_attrs)
+        # (scope_id, access, effective locks) per attribute.
+        by_attr: Dict[str, List[Tuple[str, Access, FrozenSet[str]]]] = {}
+        for scope_id, scope in project.scopes_of_class(cls_name):
+            if project.is_init_scope(scope_id):
+                continue
+            for access in scope.accesses:
+                if _is_lockish(access.attr, lock_attrs):
+                    continue
+                effective = project.effective_locks(scope_id, access.locks)
+                by_attr.setdefault(access.attr, []).append(
+                    (scope_id, access, effective)
+                )
+        for attr in sorted(by_attr):
+            accesses = by_attr[attr]
+            guards: FrozenSet[str] = frozenset()
+            for _, access, effective in accesses:
+                if access.write and effective:
+                    guards = guards | effective
+            if not guards:
+                continue
+            threaded_roots = sorted({
+                root.scope
+                for scope_id, _, _ in accesses
+                for root in project.roots_reaching(scope_id)
+            })
+            if not threaded_roots:
+                continue
+            reported: Set[Tuple[str, int]] = set()
+            guard_names = ", ".join(sorted(guards))
+            for scope_id, access, effective in accesses:
+                if effective & guards:
+                    continue
+                path = project.scope_paths[scope_id]
+                key = (path, access.line)
+                if key in reported:
+                    continue
+                reported.add(key)
+                scope = project.scopes[scope_id]
+                yield self.project_finding(
+                    path, access.line, access.col,
+                    f"{cls_name}.{attr} is guarded by {guard_names} elsewhere, "
+                    f"but {scope.qualname} accesses it lock-free while thread "
+                    f"entry point {threaded_roots[0]} can touch it — wrap the "
+                    f"access in the guarding lock",
+                )

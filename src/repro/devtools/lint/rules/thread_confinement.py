@@ -1,0 +1,167 @@
+"""thread-confinement: declared single-threaded objects stay that way.
+
+``docs/architecture.md`` declares the core data structures
+single-threaded: a ``Flowtree`` (and its nodes, query index and per-site
+time series) has no internal locking by design — zero-lock ingestion is
+where the update-throughput claims come from — and the ``Collector``'s
+dedup/merge state is likewise lock-free *internally*.  Concurrency is
+supposed to stay at the edges: whoever shares one of these objects
+across threads must serialize every entry point with one lock.
+
+This rule enforces exactly that, on the linked project model.  For each
+confined class it finds the *mutating* methods (any ``self`` attribute
+write, including through aliases and mutating container calls) and the
+thread entry points that can reach them.  A mutator is flagged when at
+least two threads can run it — two concrete spawn roots, or one root
+plus a call edge from plain main-thread code — and the analysis cannot
+prove one shared lock covering every path: the intersection of the locks
+guaranteed held along each thread's call paths (plus the locks held
+lexically at the write) is empty.  Holding *different* locks on two
+paths is precisely the bug, and counts as unguarded.
+
+Process entry points (``multiprocessing.Process``, process pools) are
+*not* roots: workers get pickled copies, racing nothing.
+
+Sanctioned exceptions live in :data:`ALLOWED` — ``"Class"`` or
+``"Class.method"`` keys mapping to a one-line rationale, surfaced by
+``--list-rules`` style tooling and documented in the README.  Entries
+must say *why* the cross-thread mutation is safe (an outer lock the
+model cannot see, a handoff protocol...), because the allow-list is the
+audit trail future PRs inherit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional
+
+from repro.devtools.lint.engine import Finding, ProjectRule, register
+from repro.devtools.lint.project import ProjectModel
+
+#: Classes the architecture doc declares single-threaded, with the doc's
+#: wording of the confinement contract.
+CONFINED_CLASSES: Mapping[str, str] = {
+    "Flowtree": "zero-lock ingestion: one owner thread per tree",
+    "FlowtreeNode": "mutated only through its owning Flowtree",
+    "QueryIndex": "built and invalidated by the owning tree's thread",
+    "FlowtreeTimeSeries": "per-site series owned by one collector",
+    "Collector": "dedup/merge state has no per-field locking; every "
+                 "entry point serializes on the internal _lock",
+}
+
+#: Audited exceptions: ``"Class"`` or ``"Class.method"`` -> rationale.
+#: Keep rationales honest — this table is the cross-thread audit trail.
+#:
+#: The core-tree entries share one story: the analysis is class-level,
+#: not instance-level.  The supervisor thread reaches tree mutators only
+#: through ``Collector`` entry points (``poll`` -> ``ingest`` ->
+#: ``FlowtreeTimeSeries.insert_tree``), and those all serialize on
+#: ``Collector._lock``; the main thread mutates *different* tree
+#: instances it owns outright (benchmarks, direct ``Flowtree`` use).  No
+#: single object is ever mutated from two threads, but a per-class model
+#: cannot see that, so the intersection of path locks is empty.
+ALLOWED: Mapping[str, str] = {
+    "Flowtree": "per-instance ownership: collector-held trees are only "
+                "reached under Collector._lock; main-thread trees are "
+                "separate instances never shared with a thread",
+    "FlowtreeNode": "nodes are reached only through their owning "
+                    "Flowtree, which is per-instance single-owner",
+    "QueryIndex": "one index per Flowtree, mutated only by the owning "
+                  "tree's insert path",
+    "FlowtreeTimeSeries": "one series per (collector, site); every "
+                          "mutation path enters through a Collector "
+                          "entry point holding Collector._lock",
+}
+
+
+@register
+class ThreadConfinementRule(ProjectRule):
+    name = "thread-confinement"
+    description = (
+        "classes declared single-threaded (Flowtree, Collector internals) "
+        "must not be mutated from two thread entry points without one "
+        "shared lock covering every path"
+    )
+
+    def __init__(
+        self,
+        confined: Optional[Mapping[str, str]] = None,
+        allowed: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        self.confined = dict(CONFINED_CLASSES if confined is None else confined)
+        self.allowed = dict(ALLOWED if allowed is None else allowed)
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        for cls_name in sorted(self.confined):
+            if cls_name not in project.classes or cls_name in self.allowed:
+                continue
+            yield from self._check_class(project, cls_name)
+
+    def _main_calls_into(self, project: ProjectModel, cls_name: str) -> bool:
+        """Does plain (un-spawned) code call any method of the class?"""
+        for scope_id, _ in project.scopes_of_class(cls_name):
+            for caller, _call in project.reverse_edges.get(scope_id, []):
+                caller_info = project.scopes[caller]
+                if caller_info.cls == cls_name:
+                    continue
+                if project.is_init_scope(caller):
+                    continue  # construction precedes sharing
+                if not project.roots_reaching(caller):
+                    return True
+        return False
+
+    def _check_class(
+        self, project: ProjectModel, cls_name: str
+    ) -> Iterator[Finding]:
+        lock_attrs = frozenset(project.classes[cls_name].lock_attrs)
+        main_called = self._main_calls_into(project, cls_name)
+        for scope_id, scope in sorted(project.scopes_of_class(cls_name)):
+            if project.is_init_scope(scope_id):
+                continue
+            method = scope.qualname.split(".", 1)[-1]
+            if f"{cls_name}.{method}" in self.allowed:
+                continue
+            writes = [
+                access for access in scope.accesses
+                if access.write
+                and "lock" not in access.attr.lower()
+                and access.attr not in lock_attrs
+            ]
+            if not writes:
+                continue
+            roots = project.roots_reaching(scope_id)
+            if not roots:
+                continue
+            locksets: List[FrozenSet[str]] = [
+                project.root_reach[root.scope][scope_id] for root in roots
+            ]
+            if main_called:
+                locksets.append(project.inherited_locks.get(scope_id, frozenset()))
+            if len(locksets) < 2:
+                continue  # one thread only: confined to its spawner
+            shared_paths = frozenset.intersection(*locksets)
+            # A write is serialized either by a lock on every thread's
+            # call path, or by a lock held lexically at the write itself
+            # (held by whichever thread executes it).
+            unguarded_writes = [
+                access for access in writes
+                if not shared_paths and not access.locks
+            ]
+            if not unguarded_writes:
+                continue
+            unguarded: Dict[str, int] = {}
+            for access in unguarded_writes:
+                unguarded.setdefault(access.attr, access.line)
+            anchor = min(unguarded_writes, key=lambda a: (a.line, a.col))
+            first_line, first_col = anchor.line, anchor.col
+            root_names = sorted({root.scope for root in roots})
+            if main_called:
+                root_names.append("<main>")
+            attrs = ", ".join(sorted(unguarded))
+            yield self.project_finding(
+                project.scope_paths[scope_id], first_line, first_col,
+                f"{scope.qualname} mutates {attrs} on single-threaded class "
+                f"{cls_name} ({self.confined[cls_name]}), reachable from "
+                f"{' and '.join(root_names)} with no shared lock — serialize "
+                f"the entry points with one lock or allow-list with a "
+                f"rationale",
+            )

@@ -20,6 +20,7 @@ flows through to backend deletion.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
@@ -141,6 +142,15 @@ class Collector:
         self._faults = faults
         if faults is not None:
             self._store.attach_faults(faults)
+        #: Serializes every entry point: the supervisor heartbeat thread
+        #: polls/reopens this collector while the query engine's gather
+        #: pool reads it and the main thread replays into it.  Reentrant
+        #: because entry points nest (``poll`` -> ``ingest``,
+        #: ``evict_before`` -> ``site_series``).  Lock order: always taken
+        #: *after* any caller's lock (supervisor ``_check_lock``) and
+        #: *before* leaf locks (``FaultPlan._lock``, store connections) —
+        #: never the reverse, so no ordering cycles.
+        self._lock = threading.RLock()
         #: ``None`` = alive; otherwise the reason the collector went down.
         self._killed: Optional[str] = None
         #: Messages drained from the transport but not yet ingested (the
@@ -205,54 +215,64 @@ class Collector:
     @property
     def sites(self) -> List[str]:
         """Sites the collector has received at least one summary from."""
-        return sorted(self._series)
+        with self._lock:
+            return sorted(self._series)
 
     @property
     def messages_processed(self) -> int:
         """Number of summary messages stored so far (duplicates excluded)."""
-        return self._messages_processed
+        with self._lock:
+            return self._messages_processed
 
     @property
     def bytes_received(self) -> int:
         """Total summary payload bytes received (excludes transport overhead)."""
-        return self._bytes_received
+        with self._lock:
+            return self._bytes_received
 
     @property
     def duplicates_dropped(self) -> int:
         """Re-delivered messages skipped by the idempotency guard."""
-        return self._duplicates_dropped
+        with self._lock:
+            return self._duplicates_dropped
 
     @property
     def expired_dropped(self) -> int:
         """Messages for bins below a site's retention horizon, skipped."""
-        return self._expired_dropped
+        with self._lock:
+            return self._expired_dropped
 
     @property
     def corrupt_dropped(self) -> int:
         """Messages with undecodable payloads, dropped as poison."""
-        return self._corrupt_dropped
+        with self._lock:
+            return self._corrupt_dropped
 
     @property
     def pending_backlog(self) -> int:
         """Drained-but-not-ingested messages awaiting the next poll."""
-        return len(self._backlog)
+        with self._lock:
+            return len(self._backlog)
 
     # -- health -----------------------------------------------------------------------
 
     @property
     def healthy(self) -> bool:
         """Whether the collector is serving (not killed)."""
-        return self._killed is None
+        with self._lock:
+            return self._killed is None
 
     @property
     def kill_reason(self) -> Optional[str]:
         """Why the collector is down, or ``None`` when healthy."""
-        return self._killed
+        with self._lock:
+            return self._killed
 
     def kill(self, reason: str = "killed") -> None:
         """Mark the collector dead: every entry point raises until it is
         revived (memory store) or reopened (durable store)."""
-        self._killed = reason
+        with self._lock:
+            self._killed = reason
 
     def revive(self) -> None:
         """Bring a killed *in-memory* collector back.
@@ -261,11 +281,13 @@ class Collector:
         backend holds the trees); durable collectors come back through
         :meth:`reopen`, which rebuilds state from the backend instead.
         """
-        self._killed = None
+        with self._lock:
+            self._killed = None
 
     def ping(self) -> bool:
         """Cheap liveness probe (raises when killed) for heartbeat checks."""
-        self._ensure_alive()
+        with self._lock:
+            self._ensure_alive()
         return True
 
     def _ensure_alive(self) -> None:
@@ -287,48 +309,49 @@ class Collector:
         commit errors, a killed collector) keep the failing message itself
         queued for retry.
         """
-        self._ensure_alive()
-        pending: List[object] = list(self._backlog)
-        self._backlog = []
-        if limit is None:
-            pending.extend(m for _, m in self._transport.receive(self._name))
-        elif len(pending) < limit:
-            pending.extend(
-                m for _, m in self._transport.receive(self._name, limit=limit - len(pending))
-            )
-        processed = 0
-        for index, message in enumerate(pending):
-            if not isinstance(message, SummaryMessage):
-                # Poison: drop it, keep everything behind it.
-                self._backlog = list(pending[index + 1 :])
-                raise DaemonError(
-                    f"collector received unexpected message type {type(message).__name__}"
+        with self._lock:
+            self._ensure_alive()
+            pending: List[object] = list(self._backlog)
+            self._backlog = []
+            if limit is None:
+                pending.extend(m for _, m in self._transport.receive(self._name))
+            elif len(pending) < limit:
+                pending.extend(
+                    m for _, m in self._transport.receive(self._name, limit=limit - len(pending))
                 )
-            try:
-                self.ingest(message)
-            except SerializationError:
-                # Poison payload (corruption that slipped past transport
-                # checks): a retry cannot succeed — count and drop it so
-                # the acked messages behind it still get through.
-                self._corrupt_dropped += 1
-                continue
-            except CollectorUnavailableError:
-                # Transient: the collector died mid-drain; retry this very
-                # message once it is revived/reopened.
-                self._backlog = list(pending[index:])
-                raise
-            except DaemonError:
-                # Validation poison (geometry / alignment mismatch): the
-                # message can never be accepted; drop it, keep the rest.
-                self._backlog = list(pending[index + 1 :])
-                raise
-            except BaseException:
-                # Transient (store commit failure, ...): keep the failing
-                # message for retry — it was acked and must not be lost.
-                self._backlog = list(pending[index:])
-                raise
-            processed += 1
-        return processed
+            processed = 0
+            for index, message in enumerate(pending):
+                if not isinstance(message, SummaryMessage):
+                    # Poison: drop it, keep everything behind it.
+                    self._backlog = list(pending[index + 1 :])
+                    raise DaemonError(
+                        f"collector received unexpected message type {type(message).__name__}"
+                    )
+                try:
+                    self.ingest(message)
+                except SerializationError:
+                    # Poison payload (corruption that slipped past transport
+                    # checks): a retry cannot succeed — count and drop it so
+                    # the acked messages behind it still get through.
+                    self._corrupt_dropped += 1
+                    continue
+                except CollectorUnavailableError:
+                    # Transient: the collector died mid-drain; retry this very
+                    # message once it is revived/reopened.
+                    self._backlog = list(pending[index:])
+                    raise
+                except DaemonError:
+                    # Validation poison (geometry / alignment mismatch): the
+                    # message can never be accepted; drop it, keep the rest.
+                    self._backlog = list(pending[index + 1 :])
+                    raise
+                except BaseException:
+                    # Transient (store commit failure, ...): keep the failing
+                    # message for retry — it was acked and must not be lost.
+                    self._backlog = list(pending[index:])
+                    raise
+                processed += 1
+            return processed
 
     @property
     def _geometry_tolerance(self) -> float:
@@ -373,71 +396,72 @@ class Collector:
         failed durable write leaves the collector exactly as before the
         call and a retry of the same message goes through cleanly.
         """
-        self._ensure_alive()
-        if self._faults is not None and self._faults.should_fire(FAULT_COLLECTOR_KILL):
-            self.kill("fault injection [collector.kill]: killed mid-ingest")
-            raise CollectorUnavailableError(
-                f"collector {self._name!r} was killed mid-ingest (fault injection)"
-            )
-        self._validate_geometry(message)
-        site = message.site
-        horizon = self._horizon.get(site)
-        if horizon is not None and message.bin_index < horizon:
-            self._expired_dropped += 1
-            return False
-        seen = self._seen.setdefault(site, set())
-        guard = (message.bin_index, message.sequence)
-        if message.sequence >= 0 and guard in seen:
-            self._duplicates_dropped += 1
-            return False
-        prior_baseline = self._decoder.baseline(site)
-        tree = self._decoder.decode(message)
-        series = self._series.get(site)
-        if series is None:
-            series = FlowtreeTimeSeries(
-                self._schema,
-                self._bin_width,
-                config=self._storage_config,
-                origin=message.bin_start - message.bin_index * self._bin_width,
-                store=self._store,
-                site=site,
-            )
-            self._series[site] = series
-        new_seen = set(seen)
-        if message.sequence >= 0:
-            new_seen.add(guard)
-        processed = self._messages_processed + 1
-        received = self._bytes_received + message.payload_bytes
-        meta: Optional[Dict[str, bytes]] = None
-        if self._store.durable:
-            # Everything restart recovery needs commits atomically with
-            # the bin payload: the diff baseline this message established,
-            # the dedup guard covering it, and the running counters.
-            meta = {
-                f"baseline/{site}": to_bytes(tree),
-                f"dedup/{site}": pack_int_pairs(new_seen),
-                _COUNTERS_KEY: pack_ints(
-                    (processed, received,
-                     self._duplicates_dropped, self._expired_dropped)
-                ),
-            }
-        try:
-            series.insert_tree(message.bin_index, tree, meta=meta)
-        except BaseException:
-            # The commit failed: roll the decoder back so retrying this
-            # message decodes exactly like the first attempt did.  Guards
-            # and counters were not advanced yet, so the retry is not
-            # mistaken for a duplicate.
-            self._decoder.set_baseline(site, prior_baseline)
-            raise
-        self._seen[site] = new_seen
-        self._messages_processed = processed
-        self._bytes_received = received
-        if self._config.retain_bins is not None:
-            indices = series.bin_indices()
-            if len(indices) > self._config.retain_bins:
-                self._evict_site_before(site, indices[-1] - self._config.retain_bins + 1)
-        return True
+        with self._lock:
+            self._ensure_alive()
+            if self._faults is not None and self._faults.should_fire(FAULT_COLLECTOR_KILL):
+                self.kill("fault injection [collector.kill]: killed mid-ingest")
+                raise CollectorUnavailableError(
+                    f"collector {self._name!r} was killed mid-ingest (fault injection)"
+                )
+            self._validate_geometry(message)
+            site = message.site
+            horizon = self._horizon.get(site)
+            if horizon is not None and message.bin_index < horizon:
+                self._expired_dropped += 1
+                return False
+            seen = self._seen.setdefault(site, set())
+            guard = (message.bin_index, message.sequence)
+            if message.sequence >= 0 and guard in seen:
+                self._duplicates_dropped += 1
+                return False
+            prior_baseline = self._decoder.baseline(site)
+            tree = self._decoder.decode(message)
+            series = self._series.get(site)
+            if series is None:
+                series = FlowtreeTimeSeries(
+                    self._schema,
+                    self._bin_width,
+                    config=self._storage_config,
+                    origin=message.bin_start - message.bin_index * self._bin_width,
+                    store=self._store,
+                    site=site,
+                )
+                self._series[site] = series
+            new_seen = set(seen)
+            if message.sequence >= 0:
+                new_seen.add(guard)
+            processed = self._messages_processed + 1
+            received = self._bytes_received + message.payload_bytes
+            meta: Optional[Dict[str, bytes]] = None
+            if self._store.durable:
+                # Everything restart recovery needs commits atomically with
+                # the bin payload: the diff baseline this message established,
+                # the dedup guard covering it, and the running counters.
+                meta = {
+                    f"baseline/{site}": to_bytes(tree),
+                    f"dedup/{site}": pack_int_pairs(new_seen),
+                    _COUNTERS_KEY: pack_ints(
+                        (processed, received,
+                         self._duplicates_dropped, self._expired_dropped)
+                    ),
+                }
+            try:
+                series.insert_tree(message.bin_index, tree, meta=meta)
+            except BaseException:
+                # The commit failed: roll the decoder back so retrying this
+                # message decodes exactly like the first attempt did.  Guards
+                # and counters were not advanced yet, so the retry is not
+                # mistaken for a duplicate.
+                self._decoder.set_baseline(site, prior_baseline)
+                raise
+            self._seen[site] = new_seen
+            self._messages_processed = processed
+            self._bytes_received = received
+            if self._config.retain_bins is not None:
+                indices = series.bin_indices()
+                if len(indices) > self._config.retain_bins:
+                    self._evict_site_before(site, indices[-1] - self._config.retain_bins + 1)
+            return True
 
     def _evict_site_before(self, site: str, bin_index: int) -> int:
         """Evict one site's bins below ``bin_index`` and advance its horizon.
@@ -476,62 +500,67 @@ class Collector:
         backlog is preserved (those messages were acked at the transport
         and would otherwise be lost).
         """
-        self._killed = None
-        self._series = {}
-        self._seen = {}
-        self._horizon = {}
-        self._decoder = DiffSyncDecoder()
-        for site in self._store.sites():
-            self._series[site] = FlowtreeTimeSeries(
-                self._schema,
-                self._bin_width,
-                config=self._storage_config,
-                store=self._store,
-                site=site,
-            )
-            raw = self._store.get_meta(f"dedup/{site}")
-            self._seen[site] = unpack_int_pairs(raw) if raw is not None else set()
-            raw = self._store.get_meta(f"horizon/{site}")
+        with self._lock:
+            self._killed = None
+            self._series = {}
+            self._seen = {}
+            self._horizon = {}
+            self._decoder = DiffSyncDecoder()
+            for site in self._store.sites():
+                self._series[site] = FlowtreeTimeSeries(
+                    self._schema,
+                    self._bin_width,
+                    config=self._storage_config,
+                    store=self._store,
+                    site=site,
+                )
+                raw = self._store.get_meta(f"dedup/{site}")
+                self._seen[site] = unpack_int_pairs(raw) if raw is not None else set()
+                raw = self._store.get_meta(f"horizon/{site}")
+                if raw is not None:
+                    self._horizon[site] = unpack_ints(raw)[0]
+                raw = self._store.get_meta(f"baseline/{site}")
+                if raw is not None:
+                    self._decoder.set_baseline(site, from_bytes(raw))
+            raw = self._store.get_meta(_COUNTERS_KEY)
             if raw is not None:
-                self._horizon[site] = unpack_ints(raw)[0]
-            raw = self._store.get_meta(f"baseline/{site}")
-            if raw is not None:
-                self._decoder.set_baseline(site, from_bytes(raw))
-        raw = self._store.get_meta(_COUNTERS_KEY)
-        if raw is not None:
-            counters = unpack_ints(raw)
-            if len(counters) == 4:
-                (self._messages_processed, self._bytes_received,
-                 self._duplicates_dropped, self._expired_dropped) = counters
-        return self.sites
+                counters = unpack_ints(raw)
+                if len(counters) == 4:
+                    (self._messages_processed, self._bytes_received,
+                     self._duplicates_dropped, self._expired_dropped) = counters
+            return self.sites
 
     def flush(self) -> None:
         """Persist any dirty bins to the backend."""
-        self._store.flush()
+        with self._lock:
+            self._store.flush()
 
     def close(self) -> None:
         """Flush and release the storage backend."""
-        self._store.close()
+        with self._lock:
+            self._store.close()
 
     def evict_before(self, bin_index: int, sites: Optional[Iterable[str]] = None) -> int:
         """Drop bins older than ``bin_index`` across sites (retention sweep).
 
         Returns the total number of bins removed from the backend.
         """
-        removed = 0
-        for site in list(sites) if sites is not None else self.sites:
-            removed += self._evict_site_before(site, bin_index)
-        return removed
+        with self._lock:
+            removed = 0
+            for site in list(sites) if sites is not None else self.sites:
+                removed += self._evict_site_before(site, bin_index)
+            return removed
 
     # -- views -----------------------------------------------------------------------
 
     def site_series(self, site: str) -> FlowtreeTimeSeries:
         """The per-bin series of one site (raises for unknown sites)."""
-        self._ensure_alive()
-        series = self._series.get(site)
-        if series is None:
-            raise DaemonError(f"no summaries received from site {site!r}")
-        return series
+        with self._lock:
+            self._ensure_alive()
+            series = self._series.get(site)
+            if series is None:
+                raise DaemonError(f"no summaries received from site {site!r}")
+            return series
 
     def merged(
         self,
@@ -543,14 +572,15 @@ class Collector:
 
         Only the bins inside the range are materialized from the backend.
         """
-        self._ensure_alive()
-        selected_sites = list(sites) if sites is not None else self.sites
-        trees = []
-        for site in selected_sites:
-            trees.extend(self.site_series(site).trees_in_range(start_bin, end_bin))
-        if not trees:
-            raise DaemonError("no summaries match the requested sites/bins")
-        return merge_all(trees)
+        with self._lock:
+            self._ensure_alive()
+            selected_sites = list(sites) if sites is not None else self.sites
+            trees = []
+            for site in selected_sites:
+                trees.extend(self.site_series(site).trees_in_range(start_bin, end_bin))
+            if not trees:
+                raise DaemonError("no summaries match the requested sites/bins")
+            return merge_all(trees)
 
     def estimate(
         self,
@@ -580,20 +610,22 @@ class Collector:
         caches of :func:`~repro.core.estimator.estimate_many` instead of
         dispatching one estimate per (key, site, bin).
         """
-        self._ensure_alive()
-        key_list = list(keys)
-        selected_sites = list(sites) if sites is not None else self.sites
-        per_site: Dict[str, Dict[FlowKey, int]] = {}
-        totals: Dict[FlowKey, int] = {key: 0 for key in key_list}
-        for site in selected_sites:
-            values = self.site_series(site).query_range_many(
-                key_list, start_bin=start_bin, end_bin=end_bin, metric=metric
-            )
-            per_site[site] = values
-            for key, value in values.items():
-                totals[key] += value
-        return totals, per_site
+        with self._lock:
+            self._ensure_alive()
+            key_list = list(keys)
+            selected_sites = list(sites) if sites is not None else self.sites
+            per_site: Dict[str, Dict[FlowKey, int]] = {}
+            totals: Dict[FlowKey, int] = {key: 0 for key in key_list}
+            for site in selected_sites:
+                values = self.site_series(site).query_range_many(
+                    key_list, start_bin=start_bin, end_bin=end_bin, metric=metric
+                )
+                per_site[site] = values
+                for key, value in values.items():
+                    totals[key] += value
+            return totals, per_site
 
     def bins_for(self, site: str) -> List[int]:
         """Populated bin indices of one site."""
-        return self.site_series(site).bin_indices()
+        with self._lock:
+            return self.site_series(site).bin_indices()

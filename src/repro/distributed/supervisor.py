@@ -202,13 +202,21 @@ class Supervisor:
         return limit is None or health.restarts < limit
 
     def health_snapshot(self) -> Dict[str, Dict[str, object]]:
-        """Health of every collector, keyed by collector name."""
-        return {health.name: health.snapshot() for health in self._health}
+        """Health of every collector, keyed by collector name.
+
+        Takes ``_check_lock``: the heartbeat thread mutates the health
+        records mid-pass, and an unguarded read could see one collector's
+        failure count from before a restart next to its ``healthy`` flag
+        from after it (flowlint: lock-discipline).
+        """
+        with self._check_lock:
+            return {health.name: health.snapshot() for health in self._health}
 
     @property
     def all_healthy(self) -> bool:
         """Whether the last pass found every collector serving."""
-        return all(health.healthy for health in self._health)
+        with self._check_lock:
+            return all(health.healthy for health in self._health)
 
     # -- background heartbeat -----------------------------------------------------
 

@@ -7,6 +7,8 @@ relying on the fragile top-level ``conftest`` module name.
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.core.config import FlowtreeConfig
@@ -15,6 +17,47 @@ from repro.features.ipaddr import ipv4_to_int
 from repro.features.schema import SCHEMA_1F_SRC, SCHEMA_2F_SRC_DST, SCHEMA_4F, SCHEMA_5F
 from repro.flows.records import FlowRecord, PacketRecord
 from repro.traces import CaidaLikeTraceGenerator
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "allow_thread_exceptions: the test deliberately crashes a background "
+        "thread; opt out of the uncaught-thread-exception sanitizer",
+    )
+
+
+@pytest.fixture(autouse=True)
+def fail_on_uncaught_thread_exceptions(request):
+    """Turn silent background-thread crashes into failures of the owning test.
+
+    A daemon thread that dies of an uncaught exception otherwise just
+    stops — the supervisor stops supervising, the site client stops
+    sending — and the test passes on stale state.  This hook records
+    every exception reaching :func:`threading.excepthook` while a test
+    runs and fails that test by name.  Tests that crash a thread *on
+    purpose* opt out with ``@pytest.mark.allow_thread_exceptions``.
+    """
+    if request.node.get_closest_marker("allow_thread_exceptions"):
+        yield
+        return
+    failures = []
+    previous = threading.excepthook
+
+    def record(args):
+        thread_name = args.thread.name if args.thread is not None else "<unknown>"
+        failures.append(f"{thread_name}: {args.exc_type.__name__}: {args.exc_value}")
+        previous(args)
+
+    threading.excepthook = record
+    try:
+        yield
+    finally:
+        threading.excepthook = previous
+    if failures:
+        pytest.fail(
+            "uncaught exception(s) in background thread(s):\n" + "\n".join(failures)
+        )
 
 
 @pytest.fixture

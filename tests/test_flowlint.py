@@ -21,16 +21,20 @@ from repro.devtools.lint.engine import (
     REGISTRY,
     REPORT_VERSION,
     all_rules,
+    check_project_sources,
     check_source,
     main,
     run,
 )
 from repro.devtools.lint.rules.atomic_commit import AtomicCommitRule
+from repro.devtools.lint.rules.blocking_async import BlockingInAsyncRule
 from repro.devtools.lint.rules.cache_coherence import CacheCoherenceRule
 from repro.devtools.lint.rules.exception_hygiene import ExceptionHygieneRule
 from repro.devtools.lint.rules.fault_reporting import FaultReportingRule
 from repro.devtools.lint.rules.fold_determinism import FoldDeterminismRule
+from repro.devtools.lint.rules.lock_discipline import LockDisciplineRule
 from repro.devtools.lint.rules.picklability import PicklabilityRule
+from repro.devtools.lint.rules.thread_confinement import ThreadConfinementRule
 from repro.devtools.lint.rules.wire_format import (
     WireFormatRule,
     build_manifest,
@@ -58,14 +62,17 @@ def rule_names(findings):
 
 
 class TestEngine:
-    def test_all_seven_rules_registered(self):
+    def test_all_ten_rules_registered(self):
         names = {rule.name for rule in all_rules()}
         assert names == {
             "atomic-commit",
+            "blocking-in-async",
             "cache-coherence",
             "exception-hygiene",
             "fault-reporting",
             "fold-determinism",
+            "lock-discipline",
+            "thread-confinement",
             "wire-format",
             "worker-picklability",
         }
@@ -151,6 +158,17 @@ class TestSuppressions:
             """
         )
         assert rule_names(findings) == ["exception-hygiene"]
+
+    def test_disable_list_suppresses_every_named_rule(self):
+        findings = lint(
+            """
+            try:
+                pass
+            except Exception:  # flowlint: disable=cache-coherence,exception-hygiene
+                pass
+            """
+        )
+        assert findings == []
 
     def test_suppression_must_be_on_finding_line(self):
         findings = lint(
@@ -887,6 +905,301 @@ class TestFaultReporting:
         assert findings == []
 
 
+# -- lock-discipline (project rule) ---------------------------------------------------
+
+#: Project rules only model files that map into ``repro.*`` modules.
+PROJECT_PATH = "src/repro/distributed/sample.py"
+
+
+class TestLockDiscipline:
+    RULES = [LockDisciplineRule()]
+
+    WORKER = """
+        import threading
+
+        class Worker:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._count = 0
+                self._thread = None
+
+            def start(self):
+                self._thread = threading.Thread(target=self._run)
+                self._thread.start()
+
+            def _run(self):
+                with self._lock:
+                    self._count += 1
+
+            def snapshot(self):
+                {snapshot_body}
+        """
+
+    def worker(self, snapshot_body):
+        source = textwrap.dedent(self.WORKER).replace("{snapshot_body}", snapshot_body)
+        return check_source(source, PROJECT_PATH, rules=self.RULES)
+
+    def test_lock_free_read_of_guarded_attr_flagged(self):
+        findings = self.worker("return self._count")
+        assert rule_names(findings) == ["lock-discipline"]
+        message = findings[0].message
+        assert "Worker._count" in message and "Worker._lock" in message
+        assert "Worker._run" in message  # names the racing thread entry point
+
+    def test_read_under_the_guarding_lock_passes(self):
+        findings = self.worker(
+            "with self._lock:\n            return self._count"
+        )
+        assert findings == []
+
+    def test_suppressed(self):
+        findings = self.worker(
+            "return self._count  # flowlint: disable=lock-discipline"
+        )
+        assert findings == []
+
+    def test_attr_without_thread_entry_point_not_flagged(self):
+        """Lock usage alone is not a race: no second thread, no finding."""
+        findings = check_source(
+            textwrap.dedent(
+                """
+                import threading
+
+                class Counter:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._count = 0
+
+                    def bump(self):
+                        with self._lock:
+                            self._count += 1
+
+                    def snapshot(self):
+                        return self._count
+                """
+            ),
+            PROJECT_PATH,
+            rules=self.RULES,
+        )
+        assert findings == []
+
+    def test_guard_transfers_through_private_callee(self):
+        """A private helper called only with the lock held inherits it."""
+        findings = check_source(
+            textwrap.dedent(
+                """
+                import threading
+
+                class Worker:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._count = 0
+                        self._thread = None
+
+                    def start(self):
+                        self._thread = threading.Thread(target=self._run)
+                        self._thread.start()
+
+                    def _run(self):
+                        with self._lock:
+                            self._bump()
+
+                    def _bump(self):
+                        self._count += 1
+
+                    def snapshot(self):
+                        with self._lock:
+                            return self._count
+                """
+            ),
+            PROJECT_PATH,
+            rules=self.RULES,
+        )
+        assert findings == []
+
+
+# -- blocking-in-async (project rule) -------------------------------------------------
+
+
+class TestBlockingInAsync:
+    RULES = [BlockingInAsyncRule()]
+
+    def check(self, source):
+        return check_source(textwrap.dedent(source), PROJECT_PATH, rules=self.RULES)
+
+    def test_bare_future_result_in_gather_flagged(self):
+        """The PR 7 hang: collecting thread-pool futures on the loop with
+        bare ``.result()`` deadlocks when the pool is saturated."""
+        findings = self.check(
+            """
+            async def gather_partials(futures):
+                return [future.result() for future in futures]
+            """
+        )
+        assert rule_names(findings) == ["blocking-in-async"]
+        assert ".result()" in findings[0].message
+
+    def test_time_sleep_in_sync_callee_of_coroutine_flagged(self):
+        """The call graph places helpers on the loop, not just async defs."""
+        findings = self.check(
+            """
+            import time
+
+            def backoff():
+                time.sleep(0.1)
+
+            async def poll_loop():
+                backoff()
+            """
+        )
+        assert rule_names(findings) == ["blocking-in-async"]
+        assert "time.sleep" in findings[0].message
+
+    def test_awaited_asyncio_sleep_passes(self):
+        findings = self.check(
+            """
+            import asyncio
+
+            async def poll_loop():
+                await asyncio.sleep(0.1)
+            """
+        )
+        assert findings == []
+
+    def test_result_with_timeout_passes(self):
+        findings = self.check(
+            """
+            async def gather_partials(futures):
+                return [future.result(5.0) for future in futures]
+            """
+        )
+        assert findings == []
+
+    def test_queue_get_with_timeout_passes(self):
+        findings = self.check(
+            """
+            async def drain(inbox):
+                return inbox.get(timeout=0.5)
+            """
+        )
+        assert findings == []
+
+    def test_sync_only_code_not_flagged(self):
+        findings = self.check(
+            """
+            import time
+
+            def backoff():
+                time.sleep(0.1)
+
+            def retry():
+                backoff()
+            """
+        )
+        assert findings == []
+
+    def test_suppressed(self):
+        findings = self.check(
+            """
+            import time
+
+            async def poll_loop():
+                time.sleep(0.1)  # flowlint: disable=blocking-in-async
+            """
+        )
+        assert findings == []
+
+
+# -- thread-confinement (project rule) ------------------------------------------------
+
+
+class TestThreadConfinement:
+    DAEMON = """
+        import threading
+
+        class Daemon:
+            def __init__(self):
+                self._pending = []
+                self._thread = threading.Thread(target=self._drain)
+                {extra_init}
+
+            def _drain(self):
+                {drain_body}
+
+            def flush(self):
+                {flush_body}
+
+        def pump(daemon: Daemon):
+            daemon.flush()
+        """
+
+    def check(self, allowed=None, extra_init="self._thread.start()",
+              drain_body="self._pending.clear()",
+              flush_body="self._pending.append(1)"):
+        source = textwrap.dedent(self.DAEMON)
+        for slot, body in (("{extra_init}", extra_init),
+                           ("{drain_body}", drain_body),
+                           ("{flush_body}", flush_body)):
+            source = source.replace(slot, body)
+        rule = ThreadConfinementRule(
+            confined={"Daemon": "test fixture: single-owner by decree"},
+            allowed=allowed or {},
+        )
+        return check_project_sources({PROJECT_PATH: source}, rules=[rule])
+
+    def test_mutation_from_thread_and_main_flagged(self):
+        findings = self.check()
+        assert rule_names(findings) == ["thread-confinement"]
+        message = findings[0].message
+        assert "Daemon._drain" in message and "_pending" in message
+        assert "<main>" in message  # names both sides of the race
+
+    def test_shared_lock_on_every_entry_point_passes(self):
+        findings = self.check(
+            extra_init="self._guard = threading.Lock()\n"
+            "        self._thread.start()",
+            drain_body="with self._guard:\n            self._pending.clear()",
+            flush_body="with self._guard:\n            self._pending.append(1)",
+        )
+        assert findings == []
+
+    def test_single_owner_instance_passes(self):
+        """No second entry point: the spawner alone mutates the object."""
+        source = textwrap.dedent(
+            """
+            class Daemon:
+                def __init__(self):
+                    self._pending = []
+
+                def flush(self):
+                    self._pending.append(1)
+
+            def pump(daemon: Daemon):
+                daemon.flush()
+            """
+        )
+        rule = ThreadConfinementRule(confined={"Daemon": "test fixture"})
+        assert check_project_sources({PROJECT_PATH: source}, rules=[rule]) == []
+
+    def test_allow_list_entry_silences_with_audit_trail(self):
+        findings = self.check(
+            allowed={"Daemon": "handoff protocol: drain only runs post-join"}
+        )
+        assert findings == []
+
+    def test_allow_list_is_method_granular(self):
+        findings = self.check(
+            allowed={"Daemon.other_method": "does not cover _drain"}
+        )
+        assert rule_names(findings) == ["thread-confinement"]
+
+    def test_suppressed(self):
+        findings = self.check(
+            drain_body="self._pending.clear()  # flowlint: disable=thread-confinement"
+        )
+        assert findings == []
+
+
 # -- CLI: exit codes, formats, selection ----------------------------------------------
 
 
@@ -957,9 +1270,42 @@ class TestCli:
         assert document["files_checked"] == 1
         assert len(document["findings"]) == 1
         finding = document["findings"][0]
-        assert set(finding) == {"rule", "path", "line", "col", "message"}
+        assert set(finding) == {"rule", "path", "line", "col", "message", "severity"}
         assert finding["rule"] == "exception-hygiene"
+        assert finding["severity"] == "error"
         assert finding["line"] >= 1 and finding["col"] >= 1
+
+    def test_parallel_jobs_match_serial(self, tmp_path, capsys):
+        """--jobs fans file analysis over processes; findings are identical."""
+        dirty = self.write(
+            tmp_path,
+            "dirty.py",
+            """
+            try:
+                pass
+            except:
+                pass
+            """,
+        )
+        clean = self.write(tmp_path, "clean.py", "x = 1\n")
+        assert main([str(dirty), str(clean), "--jobs", "2"]) == EXIT_FINDINGS
+        parallel_out = capsys.readouterr().out
+        assert main([str(dirty), str(clean)]) == EXIT_FINDINGS
+        serial_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+        assert "exception-hygiene" in parallel_out
+
+    def test_dump_callgraph_writes_project_model(self, tmp_path, capsys):
+        target = REPO_ROOT / "src" / "repro" / "distributed" / "supervisor.py"
+        out_path = tmp_path / "callgraph.json"
+        assert main([str(target), "--dump-callgraph", str(out_path)]) == EXIT_CLEAN
+        dump = json.loads(out_path.read_text())
+        assert set(dump) == {"scopes", "thread_roots", "locks"}
+        roots = {root["scope"] for root in dump["thread_roots"]}
+        assert "repro.distributed.supervisor:Supervisor._run" in roots
+        assert dump["locks"]["Supervisor"] == ["_check_lock"]
+        check = dump["scopes"]["repro.distributed.supervisor:Supervisor.check"]
+        assert "repro.distributed.supervisor:Supervisor._check_one" in check["calls"]
 
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == EXIT_CLEAN
